@@ -1,0 +1,14 @@
+"""Benchmark: the energy-cost extension (CPU joules per GPU workload)."""
+
+from .conftest import BENCH_HORIZON_NS, run_and_render
+
+
+def test_energy(benchmark):
+    result = run_and_render(
+        benchmark, "energy", gpu_names=["bfs", "sssp", "ubench"],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    overheads = {row[0]: row[3] for row in result.rows}
+    # The storm is the most energy-expensive workload per the lost sleep.
+    assert overheads["ubench"] == max(overheads.values())
+    assert all(v > 0 for v in overheads.values())

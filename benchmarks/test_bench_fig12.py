@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 12 (QoS throttling panels)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig12a_cpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig12a", cpu_names=BENCH_CPU_NAMES, horizon_ns=BENCH_HORIZON_NS
+    )
+    # Tighter thresholds recover CPU performance monotonically.
+    gmean = [result.cell("gmean", c) for c in ("default", "th_5", "th_1")]
+    assert gmean[0] < gmean[1] < gmean[2]
+    assert gmean[2] > 0.85
+
+
+def test_fig12b_gpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig12b", cpu_names=BENCH_CPU_NAMES, horizon_ns=BENCH_HORIZON_NS
+    )
+    gmean = [result.cell("gmean", c) for c in ("default", "th_5", "th_1")]
+    # ...at the cost of accelerator throughput.
+    assert gmean[0] > gmean[1] > gmean[2]
+    assert gmean[2] < 0.3

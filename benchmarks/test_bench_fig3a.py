@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 3a (CPU slowdown from GPU SSRs)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_GPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig3a(benchmark):
+    result = run_and_render(
+        benchmark,
+        "fig3a",
+        cpu_names=BENCH_CPU_NAMES,
+        gpu_names=BENCH_GPU_NAMES,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    # Shape: every bar at most ~1; the microbenchmark's column is the worst.
+    ubench = [v for v in result.column("ubench") if isinstance(v, float)]
+    assert all(v < 1.05 for v in ubench)
+    assert result.cell("gmean", "ubench") < result.cell("gmean", "bfs")
+    # raytrace is the least affected by the storm.
+    assert result.cell("raytrace", "ubench") == max(ubench[:-1])

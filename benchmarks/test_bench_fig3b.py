@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3b (GPU slowdown from busy CPUs)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_GPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig3b(benchmark):
+    result = run_and_render(
+        benchmark,
+        "fig3b",
+        cpu_names=BENCH_CPU_NAMES,
+        gpu_names=BENCH_GPU_NAMES,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    # Blocking apps (sssp) lose to busy CPUs; overlapped ubench barely moves.
+    assert result.cell("gmean", "sssp") < 0.98
+    assert result.cell("gmean", "ubench") > 0.9

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4 (CC6 residency with/without SSRs)."""
+
+from .conftest import BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig4(benchmark):
+    result = run_and_render(benchmark, "fig4", horizon_ns=20_000_000)
+    # Baseline ~86%; ubench nearly eliminates sleep; bfs loses the least.
+    assert result.cell("ubench", "no_SSR") > 75.0
+    assert result.cell("ubench", "gpu_SSR") < 15.0
+    losses = {row[0]: row[3] for row in result.rows}
+    assert losses["bfs"] == min(losses.values())

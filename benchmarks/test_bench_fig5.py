@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 5 (uarch pollution from GPU SSRs)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig5(benchmark):
+    result = run_and_render(
+        benchmark, "fig5", cpu_names=BENCH_CPU_NAMES, horizon_ns=BENCH_HORIZON_NS
+    )
+    l1 = result.column("l1d_miss_increase_pct")
+    bp = result.column("branch_mispredict_increase_pct")
+    assert all(v >= 0 for v in l1) and all(v >= 0 for v in bp)
+    assert max(l1) > 5.0  # pollution is material, as in the paper

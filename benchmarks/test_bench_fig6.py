@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 6 (the three mitigations in isolation)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+GPU_SET = ["bfs", "sssp", "ubench"]
+
+
+def test_fig6a_steering_cpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6a", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    # Steering contains the microbenchmark's storm (CPU side improves).
+    assert result.cell("gmean", "ubench") > 1.0
+
+
+def test_fig6b_steering_gpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6b", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    assert 0.5 < result.cell("gmean", "sssp") < 1.2
+
+
+def test_fig6c_coalescing_cpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6c", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    assert result.cell("gmean", "ubench") > 0.95
+
+
+def test_fig6d_coalescing_gpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6d", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    # Coalescing delays the blocking app's SSRs (paper: up to -50%).
+    assert result.cell("gmean", "sssp") < 1.0
+
+
+def test_fig6e_monolithic_cpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6e", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    assert 0.5 < result.cell("gmean", "ubench") < 1.3
+
+
+def test_fig6f_monolithic_gpu(benchmark):
+    result = run_and_render(
+        benchmark, "fig6f", cpu_names=BENCH_CPU_NAMES, gpu_names=GPU_SET,
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    # The monolithic handler speeds up the blocking GPU app.
+    assert result.cell("gmean", "sssp") > 1.0

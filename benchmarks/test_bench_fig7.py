@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (Pareto chart, microbenchmark)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig7(benchmark):
+    result = run_and_render(
+        benchmark, "fig7", cpu_names=BENCH_CPU_NAMES, horizon_ns=BENCH_HORIZON_NS
+    )
+    optimal = {row[0] for row in result.rows if row[3] == "yes"}
+    # The paper's key observation: the default is not Pareto optimal.
+    assert "Default" not in optimal
+    assert optimal, "some combination must be on the frontier"

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (Pareto chart, real GPU apps)."""
+
+from .conftest import BENCH_CPU_NAMES, BENCH_HORIZON_NS, run_and_render
+
+
+def test_fig8(benchmark):
+    result = run_and_render(
+        benchmark,
+        "fig8",
+        cpu_names=BENCH_CPU_NAMES,
+        gpu_names=["bpt", "sssp", "xsbench"],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    by_label = {row[0]: row for row in result.rows}
+    # Monolithic dominates the default on GPU performance.
+    assert by_label["Monolithic_bottom_half"][2] > by_label["Default"][2]

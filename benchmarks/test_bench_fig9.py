@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (CC6 under mitigation combinations)."""
+
+from .conftest import run_and_render
+
+
+def test_fig9(benchmark):
+    result = run_and_render(benchmark, "fig9", horizon_ns=20_000_000)
+    cc6 = {row[0]: row[1] for row in result.rows}
+    assert cc6["ubench_no_SSR"] > 75.0
+    assert cc6["Default"] < 15.0
+    # Steering and the monolithic handler both restore substantial sleep.
+    assert cc6["Intr_to_single_core"] > 40.0
+    assert cc6["Monolithic_bottom_half"] > 40.0
+    # Coalescing alone barely helps (paper Section V-E).
+    assert cc6["Intr_coalescing"] < 20.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the Section IV-C interrupt/IPI statistics."""
+
+from .conftest import BENCH_HORIZON_NS, run_and_render
+
+
+def test_ipi(benchmark):
+    result = run_and_render(benchmark, "ipi", horizon_ns=BENCH_HORIZON_NS)
+    busy = next(row for row in result.rows if row[0].endswith("_SSR") and row[0].startswith("busy"))
+    counts = busy[1:5]
+    # Even distribution across cores under load.
+    assert max(counts) < 1.5 * (sum(counts) / 4)

@@ -1,0 +1,39 @@
+"""Benchmarks: the ablation sweeps (design-choice sensitivity)."""
+
+from .conftest import BENCH_HORIZON_NS, run_and_render
+
+
+def test_sweep_coalesce(benchmark):
+    result = run_and_render(
+        benchmark, "sweep_coalesce", windows_us=[0, 13, 52],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    latency = result.column("sssp_latency_us")
+    assert latency[0] < latency[-1]
+
+
+def test_sweep_outstanding(benchmark):
+    result = run_and_render(
+        benchmark, "sweep_outstanding", limits=[1, 8, 32],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    rates = result.column("ubench_ssrs_per_s")
+    assert rates[0] < rates[-1]
+
+
+def test_sweep_dispatch(benchmark):
+    result = run_and_render(
+        benchmark, "sweep_dispatch", latencies_us=[0, 18, 72],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    gains = result.column("monolithic_gain")
+    assert gains == sorted(gains)
+
+
+def test_sweep_qos(benchmark):
+    result = run_and_render(
+        benchmark, "sweep_qos", thresholds=[0.05, 0.01],
+        horizon_ns=BENCH_HORIZON_NS,
+    )
+    cpu = result.column("cpu_perf")
+    assert cpu[0] < cpu[2]  # off < th_1

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (SSR kinds and measured latencies)."""
+
+from .conftest import run_and_render
+
+
+def test_table1(benchmark):
+    result = run_and_render(benchmark, "table1")
+    kinds = [row[0] for row in result.rows]
+    assert "page_fault" in kinds and "signal" in kinds
+    # Signals are the cheapest SSR end to end (Table I: Low complexity).
+    latencies = {row[0]: row[3] for row in result.rows}
+    assert latencies["signal"] < latencies["page_fault"] < latencies["filesystem"]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Project SSR interference onto accelerator-rich future SoCs.
+
+The paper's motivation: SoCs are gaining accelerators, each a potential
+SSR source, so host interference "may be exacerbated in future systems".
+This example attaches an increasing number of concurrent SSR-generating
+accelerators to one 4-core host and tracks CPU application performance,
+sleep residency, and the fraction of CPU time consumed by SSR servicing —
+with and without the QoS governor as the safety net.
+
+Usage::
+
+    python examples/accelerator_rich_future.py [cpu_app] [gpu_app] [max_accels]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import System, SystemConfig, gpu_app, parsec, project_accelerator_scaling
+
+
+def run_with_qos(cpu_name, gpu_name, count, horizon_ns):
+    config = SystemConfig().with_qos(enabled=True, ssr_time_threshold=0.05)
+    system = System(config)
+    system.add_cpu_app(parsec(cpu_name))
+    profile = gpu_app(gpu_name)
+    for index in range(count):
+        system.add_gpu_workload(replace(profile, name=f"{profile.name}#{index}"))
+    return system.run(horizon_ns)
+
+
+def main() -> int:
+    cpu_name = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    gpu_name = sys.argv[2] if len(sys.argv) > 2 else "xsbench"
+    max_accels = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+    horizon_ns = 20_000_000
+
+    print(f"Scaling {gpu_name}-style accelerators against {cpu_name} "
+          f"on a 4-core host...")
+    points = project_accelerator_scaling(
+        cpu_name=cpu_name,
+        gpu_name=gpu_name,
+        max_accelerators=max_accels,
+        horizon_ns=horizon_ns,
+    )
+
+    header = f"{'accels':>6s} {'cpu_perf':>9s} {'cc6%':>6s} {'ssrs/s':>9s} {'ssr_time%':>9s}"
+    print()
+    print("Without QoS:")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        rate = point.total_ssrs_completed / (horizon_ns / 1e9)
+        print(
+            f"{point.accelerators:6d} {point.cpu_relative_performance:9.3f} "
+            f"{point.cc6_residency * 100:6.1f} {rate:9.0f} "
+            f"{point.ssr_time_fraction * 100:9.2f}"
+        )
+
+    baseline_instructions = None
+    print()
+    print("With the QoS governor capping SSR time at 5%:")
+    print(header)
+    print("-" * len(header))
+    for count in range(max_accels + 1):
+        metrics = run_with_qos(cpu_name, gpu_name, count, horizon_ns)
+        if baseline_instructions is None:
+            baseline_instructions = metrics.cpu_app.instructions
+        rate = metrics.ssr_completed / (horizon_ns / 1e9)
+        print(
+            f"{count:6d} {metrics.cpu_app.instructions / baseline_instructions:9.3f} "
+            f"{metrics.cc6_residency * 100:6.1f} {rate:9.0f} "
+            f"{metrics.ssr_time_fraction * 100:9.2f}"
+        )
+    print()
+    print("Unchecked, each added accelerator eats CPU performance and sleep;")
+    print("the governor holds the host's budget at the configured cap.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: observe host interference from GPU system service requests.
+
+Runs the paper's headline scenario on the simulator: a PARSEC application
+(fluidanimate) sharing a heterogeneous SoC with a GPU workload (sssp) whose
+page faults must be serviced by the host CPUs.  Three runs:
+
+1. the pair with the GPU's memory pinned (no SSRs) — the CPU baseline,
+2. the pair with SSRs enabled — interference appears,
+3. the GPU alone with idle CPUs — the GPU baseline.
+
+Usage::
+
+    python examples/quickstart.py [horizon_ms]
+"""
+
+import sys
+
+from repro import System, SystemConfig, gpu_app, parsec
+
+
+def run_pair(cpu_name, gpu_name, ssr_enabled, horizon_ns):
+    system = System(SystemConfig())
+    app = system.add_cpu_app(parsec(cpu_name)) if cpu_name else None
+    system.add_gpu_workload(gpu_app(gpu_name), ssr_enabled=ssr_enabled)
+    metrics = system.run(horizon_ns)
+    return metrics
+
+
+def main() -> int:
+    horizon_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    horizon_ns = int(horizon_ms * 1_000_000)
+    cpu_name, gpu_name = "fluidanimate", "sssp"
+
+    print(f"Simulating {cpu_name} (CPU) + {gpu_name} (GPU) for {horizon_ms:.0f} ms each...")
+    baseline = run_pair(cpu_name, gpu_name, ssr_enabled=False, horizon_ns=horizon_ns)
+    interfered = run_pair(cpu_name, gpu_name, ssr_enabled=True, horizon_ns=horizon_ns)
+    gpu_alone = run_pair(None, gpu_name, ssr_enabled=True, horizon_ns=horizon_ns)
+
+    cpu_ratio = interfered.cpu_app.instructions / baseline.cpu_app.instructions
+    gpu_ratio = interfered.gpu.progress_ns / gpu_alone.gpu.progress_ns
+
+    print()
+    print("=== CPU side (host interference from GPU system services) ===")
+    print(f"instructions, no SSRs : {baseline.cpu_app.instructions / 1e6:10.1f} M")
+    print(f"instructions, SSRs on : {interfered.cpu_app.instructions / 1e6:10.1f} M")
+    print(f"relative performance  : {cpu_ratio:10.3f}  "
+          f"({(1 - cpu_ratio) * 100:.1f}% lost to SSR interference)")
+    print(f"SSR servicing took    : {interfered.ssr_time_fraction * 100:10.1f} % of all CPU time")
+    print(f"L1D miss increase     : {interfered.cpu_app.l1_miss_increase * 100:10.1f} %")
+    print(f"branch mispredict +   : {interfered.cpu_app.mispredict_increase * 100:10.1f} %")
+
+    print()
+    print("=== GPU side (SSR handling depends on busy CPUs) ===")
+    print(f"progress, idle CPUs   : {gpu_alone.gpu.progress_ns / 1e6:10.2f} ms of compute")
+    print(f"progress, busy CPUs   : {interfered.gpu.progress_ns / 1e6:10.2f} ms of compute")
+    print(f"relative performance  : {gpu_ratio:10.3f}")
+    print(f"mean SSR latency      : {interfered.gpu.mean_ssr_latency_ns / 1e3:10.1f} us "
+          f"(idle CPUs: {gpu_alone.gpu.mean_ssr_latency_ns / 1e3:.1f} us)")
+
+    print()
+    print("=== System behaviour ===")
+    print(f"SSRs completed        : {interfered.ssr_completed:10d}")
+    print(f"interrupts per core   : {interfered.interrupts_per_core}")
+    print(f"resched IPIs          : {interfered.ipis:10d} "
+          f"(no-SSR run: {baseline.ipis})")
+    print(f"CC6 sleep residency   : {gpu_alone.cc6_residency * 100:10.1f} % (GPU alone)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

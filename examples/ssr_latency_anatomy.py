@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Dissect the anatomy of a GPU system service request.
+
+Walks every SSR kind from the paper's Table I through the full handling
+chain (Figure 1) on an otherwise idle system, and contrasts the split
+driver with the monolithic bottom half — showing where each microsecond
+of latency comes from.  Also demonstrates the direct signal path
+(S_SENDMSG) that bypasses the IOMMU.
+
+Usage::
+
+    python examples/ssr_latency_anatomy.py
+"""
+
+import sys
+
+from repro import System, SystemConfig
+from repro.iommu import SSR_CATALOG
+from repro.mitigations import monolithic
+from repro.workloads import GpuAppProfile
+
+
+def measure(kind_name, config, horizon_ns=6_000_000):
+    system = System(config)
+    profile = GpuAppProfile(
+        name=f"probe-{kind_name}",
+        compute_chunk_ns=150_000,
+        faults_per_chunk=2.0,
+        blocking=False,
+        fault_spacing_ns=10_000,
+        ssr_kind=kind_name,
+    )
+    system.add_gpu_workload(profile)
+    system.run(horizon_ns)
+    return system.iommu.latency
+
+
+def measure_signal(config, horizon_ns=6_000_000):
+    system = System(config)
+    system.kernel.boot()
+    system.driver.start()
+
+    def sender():
+        for _ in range(40):
+            yield system.env.timeout(120_000)
+            system.signal_path.send()
+
+    system.env.process(sender())
+    system.env.run(until=horizon_ns)
+    system.kernel.finalize()
+    return system.signal_path.latency
+
+
+def main() -> int:
+    default = SystemConfig()
+    mono = monolithic(SystemConfig())
+    os_path = default.os_path
+
+    print("The SSR handling chain (paper Fig. 1), calibrated stage costs:")
+    print(f"  1/2  fault -> PPR entry + MSI     {default.iommu.fault_to_interrupt_ns / 1e3:7.1f} us")
+    print(f"  3    top half (hard IRQ)          {os_path.top_half_ns / 1e3:7.1f} us")
+    print(f"  3a   bottom-half dispatch         {os_path.bottom_half_dispatch_ns / 1e3:7.1f} us  (skipped by monolithic)")
+    print(f"  4a   bottom-half pre-processing   {os_path.bottom_half_per_request_ns / 1e3:7.1f} us/request")
+    print(f"  4b   work-queue insertion         {os_path.queue_work_ns / 1e3:7.1f} us")
+    print(f"  5    worker service (page fault)  {os_path.page_fault_service_ns / 1e3:7.1f} us")
+    print(f"  6    response to device           {os_path.response_ns / 1e3:7.1f} us")
+
+    print()
+    header = f"{'ssr kind':20s} {'complexity':18s} {'split us':>9s} {'monolithic us':>14s} {'saved':>6s}"
+    print(header)
+    print("-" * len(header))
+    for kind in SSR_CATALOG.values():
+        if kind.name == "signal":
+            split = measure_signal(default)
+            merged = measure_signal(mono)
+        else:
+            split = measure(kind.name, default)
+            merged = measure(kind.name, mono)
+        saved = split.mean_ns - merged.mean_ns
+        print(
+            f"{kind.name:20s} {kind.complexity:18s} {split.mean_ns / 1e3:9.1f} "
+            f"{merged.mean_ns / 1e3:14.1f} {saved / 1e3:5.1f}us"
+        )
+    print()
+    print("The monolithic handler removes the bottom-half scheduling hop —")
+    print("the latency the paper credits for its up-to-2.3x GPU speedups —")
+    print("at the price of more time in hard-IRQ context on the host.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""repro — reproduction of *Interference from GPU System Service Requests*
+(Basu, Greathouse, Venkataramani, Veselý; IISWC 2018).
+
+A discrete-event simulation of a heterogeneous SoC (CPU cores + integrated
+GPU + IOMMU + a Linux-like kernel) that reproduces the paper's host
+interference from GPU system services (HISS), its mitigation study
+(interrupt steering / coalescing / monolithic bottom half), and its QoS
+governor based on SSR backpressure.
+
+Quick start::
+
+    from repro import System, SystemConfig, parsec, gpu_app
+
+    system = System(SystemConfig())
+    system.add_cpu_app(parsec("fluidanimate"))
+    system.add_gpu_workload(gpu_app("sssp"))
+    metrics = system.run(horizon_ns=50_000_000)
+    print(metrics.cc6_residency, metrics.ipis)
+"""
+
+from .config import (
+    COALESCE_WINDOW_PAPER_NS,
+    CStateConfig,
+    CpuConfig,
+    GpuConfig,
+    HousekeepingConfig,
+    IommuConfig,
+    MitigationConfig,
+    OsPathConfig,
+    PowerConfig,
+    QosConfig,
+    SchedulerConfig,
+    SystemConfig,
+)
+from .core import (
+    DEFAULT_HORIZON_NS,
+    ParetoPoint,
+    System,
+    SystemMetrics,
+    cpu_relative_performance,
+    geomean,
+    gpu_relative_performance,
+    pareto_frontier,
+    project_accelerator_scaling,
+    run_workloads,
+)
+from .mitigations import ALL_COMBINATIONS, apply_mitigations, combination
+from .workloads import (
+    GPU_APP_NAMES,
+    GPU_NAMES,
+    PARSEC_NAMES,
+    CpuAppProfile,
+    GpuAppProfile,
+    gpu_app,
+    parsec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_COMBINATIONS",
+    "COALESCE_WINDOW_PAPER_NS",
+    "CStateConfig",
+    "CpuAppProfile",
+    "CpuConfig",
+    "DEFAULT_HORIZON_NS",
+    "GPU_APP_NAMES",
+    "GPU_NAMES",
+    "GpuAppProfile",
+    "GpuConfig",
+    "HousekeepingConfig",
+    "IommuConfig",
+    "MitigationConfig",
+    "OsPathConfig",
+    "PARSEC_NAMES",
+    "PowerConfig",
+    "ParetoPoint",
+    "QosConfig",
+    "SchedulerConfig",
+    "System",
+    "SystemConfig",
+    "SystemMetrics",
+    "apply_mitigations",
+    "combination",
+    "cpu_relative_performance",
+    "geomean",
+    "gpu_app",
+    "gpu_relative_performance",
+    "pareto_frontier",
+    "parsec",
+    "project_accelerator_scaling",
+    "run_workloads",
+    "__version__",
+]

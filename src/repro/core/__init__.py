@@ -1,0 +1,51 @@
+"""The paper's primary contribution layer: HISS measurement machinery.
+
+Assembles full systems, runs normalized co-execution experiments, computes
+Pareto frontiers over mitigations, and projects accelerator-rich SoCs.
+"""
+
+from .experiment import (
+    clear_cache,
+    cpu_mitigation_ratio,
+    cpu_relative_performance,
+    gpu_mitigation_ratio,
+    gpu_relative_performance,
+    run_workloads,
+)
+from .metrics import CpuAppMetrics, GpuMetrics, SystemMetrics, geomean
+from .pareto import ParetoPoint, dominates, frontier_labels, pareto_frontier
+from .projection import ProjectionPoint, project_accelerator_scaling
+from .tracing import (
+    STAGE_SEQUENCE,
+    StageLatency,
+    format_breakdown,
+    latency_breakdown,
+    total_mean_latency_ns,
+)
+from .system import DEFAULT_HORIZON_NS, System
+
+__all__ = [
+    "CpuAppMetrics",
+    "DEFAULT_HORIZON_NS",
+    "GpuMetrics",
+    "ParetoPoint",
+    "ProjectionPoint",
+    "System",
+    "SystemMetrics",
+    "clear_cache",
+    "cpu_mitigation_ratio",
+    "cpu_relative_performance",
+    "dominates",
+    "frontier_labels",
+    "STAGE_SEQUENCE",
+    "StageLatency",
+    "format_breakdown",
+    "geomean",
+    "gpu_mitigation_ratio",
+    "latency_breakdown",
+    "total_mean_latency_ns",
+    "gpu_relative_performance",
+    "pareto_frontier",
+    "project_accelerator_scaling",
+    "run_workloads",
+]

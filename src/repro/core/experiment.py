@@ -1,0 +1,113 @@
+"""Experiment runner: normalized pairwise runs with result caching.
+
+The paper's methodology (Section III) runs independent CPU and GPU
+applications concurrently and reports performance *relative to a baseline*:
+
+* CPU bars: the same pair with the GPU generating **no SSRs** (pinned
+  memory) — so any drop is attributable purely to SSR interference.
+* GPU bars: the same GPU app with **idle CPUs**.
+* ubench "performance": SSR completion rate.
+
+Runs are memoized on ``(cpu, gpu, ssr, config, horizon)`` since every
+figure reuses baselines heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..config import SystemConfig
+from ..workloads import gpu_app, parsec
+from .metrics import SystemMetrics
+from .system import DEFAULT_HORIZON_NS, System
+
+_CACHE: Dict[Tuple, SystemMetrics] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to force re-execution)."""
+    _CACHE.clear()
+
+
+def run_workloads(
+    cpu_name: Optional[str],
+    gpu_name: Optional[str],
+    ssr_enabled: bool = True,
+    config: Optional[SystemConfig] = None,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+) -> SystemMetrics:
+    """Run one (cpu, gpu) co-execution and return its metrics (memoized)."""
+    config = config or SystemConfig()
+    key = (cpu_name, gpu_name, ssr_enabled, config, horizon_ns)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    system = System(config)
+    if cpu_name is not None:
+        system.add_cpu_app(parsec(cpu_name))
+    if gpu_name is not None:
+        system.add_gpu_workload(gpu_app(gpu_name), ssr_enabled=ssr_enabled)
+    metrics = system.run(horizon_ns)
+    _CACHE[key] = metrics
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# The paper's normalized quantities
+# ----------------------------------------------------------------------
+def cpu_relative_performance(
+    cpu_name: str,
+    gpu_name: str,
+    config: Optional[SystemConfig] = None,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+    baseline_config: Optional[SystemConfig] = None,
+) -> float:
+    """Fig. 3a quantity: CPU app performance with SSRs, normalized to the
+    same pair without SSRs (under ``baseline_config`` if given)."""
+    with_ssr = run_workloads(cpu_name, gpu_name, True, config, horizon_ns)
+    without_ssr = run_workloads(
+        cpu_name, gpu_name, False, baseline_config or config, horizon_ns
+    )
+    return with_ssr.cpu_app.instructions / without_ssr.cpu_app.instructions
+
+
+def gpu_relative_performance(
+    gpu_name: str,
+    cpu_name: Optional[str],
+    config: Optional[SystemConfig] = None,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+    baseline_config: Optional[SystemConfig] = None,
+) -> float:
+    """Fig. 3b quantity: GPU performance running with ``cpu_name``,
+    normalized to the same GPU app with idle CPUs."""
+    pair = run_workloads(cpu_name, gpu_name, True, config, horizon_ns)
+    idle = run_workloads(None, gpu_name, True, baseline_config or config, horizon_ns)
+    return pair.gpu.performance_metric() / idle.gpu.performance_metric()
+
+
+def cpu_mitigation_ratio(
+    cpu_name: str,
+    gpu_name: str,
+    config: SystemConfig,
+    default_config: SystemConfig,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+) -> float:
+    """Fig. 6a/c/e quantity: CPU performance under a mitigation, normalized
+    to the default configuration (both with SSRs)."""
+    mitigated = run_workloads(cpu_name, gpu_name, True, config, horizon_ns)
+    default = run_workloads(cpu_name, gpu_name, True, default_config, horizon_ns)
+    return mitigated.cpu_app.instructions / default.cpu_app.instructions
+
+
+def gpu_mitigation_ratio(
+    cpu_name: Optional[str],
+    gpu_name: str,
+    config: SystemConfig,
+    default_config: SystemConfig,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+) -> float:
+    """Fig. 6b/d/f quantity: GPU performance under a mitigation, normalized
+    to the default configuration (both with the same CPU app)."""
+    mitigated = run_workloads(cpu_name, gpu_name, True, config, horizon_ns)
+    default = run_workloads(cpu_name, gpu_name, True, default_config, horizon_ns)
+    return mitigated.gpu.performance_metric() / default.gpu.performance_metric()

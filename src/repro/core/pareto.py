@@ -1,0 +1,43 @@
+"""Pareto-frontier analysis for mitigation combinations (Figs. 7 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's (CPU performance, GPU performance) trade-off."""
+
+    label: str
+    cpu_performance: float
+    gpu_performance: float
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True if ``a`` is at least as good as ``b`` on both axes and strictly
+    better on at least one (both axes are maximized)."""
+    at_least = (
+        a.cpu_performance >= b.cpu_performance
+        and a.gpu_performance >= b.gpu_performance
+    )
+    strictly = (
+        a.cpu_performance > b.cpu_performance
+        or a.gpu_performance > b.gpu_performance
+    )
+    return at_least and strictly
+
+
+def pareto_frontier(points: List[ParetoPoint]) -> List[ParetoPoint]:
+    """The non-dominated subset, sorted by CPU performance."""
+    frontier = [
+        p
+        for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.cpu_performance)
+
+
+def frontier_labels(points: List[ParetoPoint]) -> List[str]:
+    return [p.label for p in pareto_frontier(points)]

@@ -1,0 +1,67 @@
+"""Accelerator-rich SoC projection (the paper's forward-looking claim).
+
+The paper argues SSR interference "may be exacerbated in future systems
+with more accelerators" and uses ubench to project a high aggregate SSR
+rate.  This module makes the projection directly: attach N concurrent
+SSR-generating accelerators to one host and measure CPU performance and
+sleep residency as N grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..workloads import gpu_app, parsec
+from .system import DEFAULT_HORIZON_NS, System
+
+
+@dataclass(frozen=True)
+class ProjectionPoint:
+    """Results for one accelerator count."""
+
+    accelerators: int
+    cpu_relative_performance: float
+    cc6_residency: float
+    total_ssrs_completed: int
+    ssr_time_fraction: float
+
+
+def project_accelerator_scaling(
+    cpu_name: str = "x264",
+    gpu_name: str = "xsbench",
+    max_accelerators: int = 4,
+    config: Optional[SystemConfig] = None,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+) -> List[ProjectionPoint]:
+    """Sweep the number of attached accelerators from 0 to N.
+
+    Each accelerator runs the same SSR-generating workload with a distinct
+    RNG stream (the profile is renamed per instance so GPU state does not
+    alias).  The 0-accelerator CPU performance is the normalization base.
+    """
+    config = config or SystemConfig()
+    profile = gpu_app(gpu_name)
+    results: List[ProjectionPoint] = []
+    baseline_instructions = None
+    for count in range(max_accelerators + 1):
+        system = System(config)
+        system.add_cpu_app(parsec(cpu_name))
+        for index in range(count):
+            instance = replace(profile, name=f"{profile.name}#{index}")
+            system.add_gpu_workload(instance, ssr_enabled=True)
+        metrics = system.run(horizon_ns)
+        instructions = metrics.cpu_app.instructions
+        if baseline_instructions is None:
+            baseline_instructions = instructions
+        results.append(
+            ProjectionPoint(
+                accelerators=count,
+                cpu_relative_performance=instructions / baseline_instructions,
+                cc6_residency=metrics.cc6_residency,
+                total_ssrs_completed=metrics.ssr_completed,
+                ssr_time_fraction=metrics.ssr_time_fraction,
+            )
+        )
+    return results

@@ -1,0 +1,89 @@
+"""SSR chain tracing: per-stage latency breakdowns.
+
+Every :class:`~repro.iommu.request.SsrRequest` is stamped as it moves
+through the handling chain (Figure 1 of the paper):
+
+``submitted`` (device writes the fault) -> ``accepted`` (PPR queue slot,
+i.e., hardware backpressure cleared) -> ``drained`` (bottom half read the
+log) -> ``queued`` (work item inserted) -> ``service_start`` (kworker got
+the CPU) -> ``completed`` (response written back).
+
+:func:`latency_breakdown` aggregates a set of completed requests into mean
+per-stage latencies — the tool for answering "where does the SSR time go,
+and what did a mitigation actually change?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..iommu.request import SsrRequest
+
+#: The chain stages, in order, with human labels.
+STAGE_SEQUENCE: List[Tuple[str, str, str]] = [
+    ("submitted", "accepted", "ppr_queue_wait"),
+    ("accepted", "drained", "interrupt_and_bottom_half"),
+    ("drained", "queued", "preprocessing"),
+    ("queued", "service_start", "worker_scheduling"),
+    ("service_start", "completed", "service"),
+]
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Mean/max latency of one chain stage over a request population."""
+
+    name: str
+    mean_ns: float
+    max_ns: float
+    samples: int
+
+
+def latency_breakdown(requests: Iterable[SsrRequest]) -> List[StageLatency]:
+    """Aggregate per-stage latencies over completed requests.
+
+    Requests missing a stamp for a stage (e.g., signals, which skip the
+    PPR path) simply do not contribute samples to that stage.
+    """
+    sums: Dict[str, float] = {}
+    maxes: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for request in requests:
+        for start, end, label in STAGE_SEQUENCE:
+            delta = request.stage_delta(start, end)
+            if delta is None:
+                continue
+            sums[label] = sums.get(label, 0.0) + delta
+            maxes[label] = max(maxes.get(label, 0.0), delta)
+            counts[label] = counts.get(label, 0) + 1
+    breakdown = []
+    for _start, _end, label in STAGE_SEQUENCE:
+        count = counts.get(label, 0)
+        breakdown.append(
+            StageLatency(
+                name=label,
+                mean_ns=sums.get(label, 0.0) / count if count else 0.0,
+                max_ns=maxes.get(label, 0.0),
+                samples=count,
+            )
+        )
+    return breakdown
+
+
+def total_mean_latency_ns(requests: Iterable[SsrRequest]) -> float:
+    """Mean end-to-end latency over completed requests."""
+    latencies = [r.latency_ns for r in requests if r.latency_ns is not None]
+    return sum(latencies) / len(latencies) if latencies else 0.0
+
+
+def format_breakdown(breakdown: List[StageLatency]) -> str:
+    """Render a breakdown as an aligned text table."""
+    lines = [f"{'stage':28s} {'mean_us':>9s} {'max_us':>9s} {'samples':>8s}"]
+    lines.append("-" * len(lines[0]))
+    for stage in breakdown:
+        lines.append(
+            f"{stage.name:28s} {stage.mean_ns / 1e3:9.2f} "
+            f"{stage.max_ns / 1e3:9.2f} {stage.samples:8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Extension: the energy cost of GPU SSRs, in joules.
+
+The paper argues energy efficiency through CC6 residency (Figures 4/9).
+This extension closes the loop with a simple per-core power model
+(:class:`repro.config.PowerConfig`): for each GPU workload running alone,
+it reports CPU-complex energy with and without SSRs, and the energy cost
+*per thousand SSRs serviced* — the number a platform architect actually
+budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import run_workloads
+from ..workloads import GPU_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("energy")
+def run(
+    config: Optional[SystemConfig] = None,
+    gpu_names: Optional[List[str]] = None,
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    gpu_names = gpu_names or GPU_NAMES
+    power = config.power
+    result = ExperimentResult(
+        experiment_id="energy",
+        title="CPU-complex energy cost of GPU SSRs (GPU running alone)",
+        columns=[
+            "gpu_app",
+            "energy_no_SSR_mJ",
+            "energy_SSR_mJ",
+            "overhead_pct",
+            "mJ_per_kSSR",
+            "avg_power_W",
+        ],
+        notes=f"power model: active {power.active_w}W, idle {power.idle_w}W, "
+        f"cc6 {power.cc6_w}W per core",
+    )
+    for gpu_name in gpu_names:
+        quiet = run_workloads(None, gpu_name, False, config, horizon_ns)
+        noisy = run_workloads(None, gpu_name, True, config, horizon_ns)
+        base_mj = quiet.cpu_energy_mj(power)
+        ssr_mj = noisy.cpu_energy_mj(power)
+        completed = max(1, noisy.ssr_completed)
+        result.add_row(
+            gpu_name,
+            base_mj,
+            ssr_mj,
+            (ssr_mj / base_mj - 1.0) * 100.0,
+            (ssr_mj - base_mj) / (completed / 1000.0),
+            noisy.average_cpu_power_w(power),
+        )
+    return result

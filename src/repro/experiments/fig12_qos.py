@@ -1,0 +1,99 @@
+"""Figure 12: the backpressure QoS governor under the SSR storm.
+
+Every PARSEC application runs against the microbenchmark under four
+configurations: default (no QoS) and governors capping SSR CPU time at
+25%, 5%, and 1% (``th_25``/``th_5``/``th_1``).
+
+* 12a — CPU application performance, normalized to the pair without SSRs.
+* 12b — ubench SSR throughput, normalized to ubench with idle CPUs.
+
+Paper headlines: ``th_1`` caps average CPU loss below ~4% (from 28%) while
+ubench's throughput collapses to ~5% of its unhindered rate; enforcement
+is periodic, so the cap can be exceeded slightly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..core import geomean, run_workloads
+from ..workloads import PARSEC_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+#: The paper's throttling thresholds, by label.
+THRESHOLDS: Dict[str, Optional[float]] = {
+    "default": None,
+    "th_25": 0.25,
+    "th_5": 0.05,
+    "th_1": 0.01,
+}
+
+
+def _qos_config(config: SystemConfig, threshold: Optional[float]) -> SystemConfig:
+    if threshold is None:
+        return config
+    return config.with_qos(enabled=True, ssr_time_threshold=threshold)
+
+
+def _run_panel(
+    side: str,
+    config: SystemConfig,
+    cpu_names: List[str],
+    gpu_name: str,
+    horizon_ns: int,
+) -> ExperimentResult:
+    what = (
+        "CPU application performance (vs. no-SSR pair)"
+        if side == "cpu"
+        else "GPU (ubench) SSR throughput (vs. idle-CPU run)"
+    )
+    result = ExperimentResult(
+        experiment_id=f"fig12{'a' if side == 'cpu' else 'b'}",
+        title=f"QoS throttling: {what}",
+        columns=["cpu_app", *THRESHOLDS.keys()],
+        notes="th_x caps SSR servicing at x% of CPU time (backpressure governor)",
+    )
+    idle = run_workloads(None, gpu_name, True, config, horizon_ns)
+    idle_metric = idle.gpu.performance_metric()
+    per_threshold: Dict[str, List[float]] = {label: [] for label in THRESHOLDS}
+    for cpu_name in cpu_names:
+        baseline = run_workloads(cpu_name, gpu_name, False, config, horizon_ns)
+        values = []
+        for label, threshold in THRESHOLDS.items():
+            pair = run_workloads(
+                cpu_name, gpu_name, True, _qos_config(config, threshold), horizon_ns
+            )
+            if side == "cpu":
+                value = pair.cpu_app.instructions / baseline.cpu_app.instructions
+            else:
+                value = pair.gpu.performance_metric() / idle_metric
+            per_threshold[label].append(value)
+            values.append(value)
+        result.add_row(cpu_name, *values)
+    result.add_row("gmean", *[geomean(per_threshold[label]) for label in THRESHOLDS])
+    return result
+
+
+@register("fig12a")
+def run_cpu(
+    config: Optional[SystemConfig] = None,
+    cpu_names: Optional[List[str]] = None,
+    gpu_name: str = "ubench",
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    return _run_panel(
+        "cpu", config or SystemConfig(), cpu_names or PARSEC_NAMES, gpu_name, horizon_ns
+    )
+
+
+@register("fig12b")
+def run_gpu(
+    config: Optional[SystemConfig] = None,
+    cpu_names: Optional[List[str]] = None,
+    gpu_name: str = "ubench",
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    return _run_panel(
+        "gpu", config or SystemConfig(), cpu_names or PARSEC_NAMES, gpu_name, horizon_ns
+    )

@@ -1,0 +1,46 @@
+"""Figure 3a: normalized CPU application performance under GPU SSRs.
+
+Each cell is a PARSEC application's performance while the named GPU
+workload generates page-fault SSRs, normalized to the same pair with SSRs
+disabled (pinned memory).  Bars below 1.0 are loss attributable purely to
+SSR interference.  Paper headlines: up to 31% loss from a real GPU app
+(fluidanimate x sssp), up to 44% and 28% on average from the
+microbenchmark, with raytrace least affected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import cpu_relative_performance, geomean
+from ..workloads import GPU_NAMES, PARSEC_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("fig3a")
+def run(
+    config: Optional[SystemConfig] = None,
+    cpu_names: Optional[List[str]] = None,
+    gpu_names: Optional[List[str]] = None,
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    cpu_names = cpu_names or PARSEC_NAMES
+    gpu_names = gpu_names or GPU_NAMES
+    result = ExperimentResult(
+        experiment_id="fig3a",
+        title="Normalized CPU application performance under GPU SSRs",
+        columns=["cpu_app", *gpu_names],
+        notes="1.0 = same pair without SSRs; lower = SSR-induced loss",
+    )
+    per_gpu: dict = {gpu_name: [] for gpu_name in gpu_names}
+    for cpu_name in cpu_names:
+        values = []
+        for gpu_name in gpu_names:
+            value = cpu_relative_performance(cpu_name, gpu_name, config, horizon_ns)
+            per_gpu[gpu_name].append(value)
+            values.append(value)
+        result.add_row(cpu_name, *values)
+    result.add_row("gmean", *[geomean(per_gpu[gpu_name]) for gpu_name in gpu_names])
+    return result

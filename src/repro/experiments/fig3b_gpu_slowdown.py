@@ -1,0 +1,46 @@
+"""Figure 3b: normalized GPU performance with concurrent CPU applications.
+
+Each cell is a GPU workload's performance (compute progress; SSR rate for
+``ubench``) while the named PARSEC app runs, normalized to the same GPU
+workload with idle CPUs.  Paper headlines: up to 18% loss (sssp x
+streamcluster), 4% average; streamcluster is the worst CPU partner;
+occasional values slightly above 1 because busy (awake) cores respond to
+SSRs faster than sleeping ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import geomean, gpu_relative_performance
+from ..workloads import GPU_NAMES, PARSEC_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("fig3b")
+def run(
+    config: Optional[SystemConfig] = None,
+    cpu_names: Optional[List[str]] = None,
+    gpu_names: Optional[List[str]] = None,
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    cpu_names = cpu_names or PARSEC_NAMES
+    gpu_names = gpu_names or GPU_NAMES
+    result = ExperimentResult(
+        experiment_id="fig3b",
+        title="Normalized GPU performance when running with CPU applications",
+        columns=["cpu_app", *gpu_names],
+        notes="1.0 = same GPU app with idle CPUs",
+    )
+    per_gpu: dict = {gpu_name: [] for gpu_name in gpu_names}
+    for cpu_name in cpu_names:
+        values = []
+        for gpu_name in gpu_names:
+            value = gpu_relative_performance(gpu_name, cpu_name, config, horizon_ns)
+            per_gpu[gpu_name].append(value)
+            values.append(value)
+        result.add_row(cpu_name, *values)
+    result.add_row("gmean", *[geomean(per_gpu[gpu_name]) for gpu_name in gpu_names])
+    return result

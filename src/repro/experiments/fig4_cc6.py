@@ -1,0 +1,39 @@
+"""Figure 4: CPU low-power (CC6) residency with and without GPU SSRs.
+
+Each GPU workload runs alone (no CPU application).  The metric is the
+fraction of core-time spent in CC6.  Paper headlines: ~86% with no SSRs;
+bfs loses only ~14 points (its faults cluster early); the other apps lose
+23-30 points; the microbenchmark collapses residency from 86% to 12%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import run_workloads
+from ..workloads import GPU_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("fig4")
+def run(
+    config: Optional[SystemConfig] = None,
+    gpu_names: Optional[List[str]] = None,
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    gpu_names = gpu_names or GPU_NAMES
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="CC6 residency while running GPU workloads (no CPU app)",
+        columns=["gpu_app", "no_SSR", "gpu_SSR", "lost_points"],
+        notes="percent of core-time in CC6; higher is better",
+    )
+    for gpu_name in gpu_names:
+        without = run_workloads(None, gpu_name, False, config, horizon_ns)
+        with_ssr = run_workloads(None, gpu_name, True, config, horizon_ns)
+        no_ssr_pct = without.cc6_residency * 100.0
+        ssr_pct = with_ssr.cc6_residency * 100.0
+        result.add_row(gpu_name, no_ssr_pct, ssr_pct, no_ssr_pct - ssr_pct)
+    return result

@@ -1,0 +1,49 @@
+"""Figure 5: microarchitectural effects of GPU SSRs on CPU applications.
+
+For each PARSEC app running against the microbenchmark's SSR stream,
+reports the increase in L1D misses (Fig. 5a) and branch mispredictions
+(Fig. 5b) attributable to kernel SSR handlers polluting the shared
+structures.  Paper ranges: L1D miss increases up to ~50%, branch
+misprediction increases up to ~30%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import run_workloads
+from ..workloads import PARSEC_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("fig5")
+def run(
+    config: Optional[SystemConfig] = None,
+    cpu_names: Optional[List[str]] = None,
+    gpu_name: str = "ubench",
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    cpu_names = cpu_names or PARSEC_NAMES
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Increase in L1D misses / branch mispredictions from GPU SSRs",
+        columns=[
+            "cpu_app",
+            "l1d_miss_increase_pct",
+            "branch_mispredict_increase_pct",
+            "pollution_stall_ms",
+        ],
+        notes=f"relative to the app's solo steady-state rates; SSR source: {gpu_name}",
+    )
+    for cpu_name in cpu_names:
+        metrics = run_workloads(cpu_name, gpu_name, True, config, horizon_ns)
+        cpu = metrics.cpu_app
+        result.add_row(
+            cpu_name,
+            cpu.l1_miss_increase * 100.0,
+            cpu.mispredict_increase * 100.0,
+            cpu.pollution_stall_ns / 1e6,
+        )
+    return result

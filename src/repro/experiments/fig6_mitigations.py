@@ -1,0 +1,119 @@
+"""Figure 6: each mitigation in isolation, CPU and GPU sides.
+
+Six panels, as in the paper:
+
+* 6a/6b — interrupt steering to a single core, CPU / GPU performance,
+  normalized to the default (spread) configuration.
+* 6c/6d — IOMMU interrupt coalescing (13 µs window) vs. no coalescing.
+* 6e/6f — monolithic bottom half vs. the split driver.
+
+Paper headlines: steering helps neither universally (facesim hurt under
+sssp; the microbenchmark's storm is contained); coalescing buys CPU
+performance on continuous streams (+13% with sssp) but can cost blocking
+GPU apps up to 50%; the monolithic handler boosts GPU performance up to
+2.3x while adding hard-IRQ time on the CPUs (+35% overhead under ubench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..core import cpu_mitigation_ratio, geomean, gpu_mitigation_ratio
+from ..mitigations import coalescing, monolithic, steering
+from ..workloads import GPU_NAMES, PARSEC_NAMES
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+#: Panel -> (mitigation builder, side).
+PANELS = {
+    "fig6a": ("steering", "cpu"),
+    "fig6b": ("steering", "gpu"),
+    "fig6c": ("coalescing", "cpu"),
+    "fig6d": ("coalescing", "gpu"),
+    "fig6e": ("monolithic", "cpu"),
+    "fig6f": ("monolithic", "gpu"),
+}
+
+_BUILDERS = {
+    "steering": steering,
+    "coalescing": coalescing,
+    "monolithic": monolithic,
+}
+
+
+def _panel(
+    panel_id: str,
+    mitigation_name: str,
+    side: str,
+    config: SystemConfig,
+    cpu_names: List[str],
+    gpu_names: List[str],
+    horizon_ns: int,
+) -> ExperimentResult:
+    mitigated = _BUILDERS[mitigation_name](config)
+    what = "CPU app" if side == "cpu" else "GPU app"
+    result = ExperimentResult(
+        experiment_id=panel_id,
+        title=f"{what} performance with {mitigation_name} (normalized to default)",
+        columns=["cpu_app", *gpu_names],
+        notes="both runs have SSRs enabled; 1.0 = default configuration",
+    )
+    per_gpu: Dict[str, List[float]] = {gpu_name: [] for gpu_name in gpu_names}
+    for cpu_name in cpu_names:
+        values = []
+        for gpu_name in gpu_names:
+            if side == "cpu":
+                value = cpu_mitigation_ratio(
+                    cpu_name, gpu_name, mitigated, config, horizon_ns
+                )
+            else:
+                value = gpu_mitigation_ratio(
+                    cpu_name, gpu_name, mitigated, config, horizon_ns
+                )
+            per_gpu[gpu_name].append(value)
+            values.append(value)
+        result.add_row(cpu_name, *values)
+    result.add_row("gmean", *[geomean(per_gpu[gpu_name]) for gpu_name in gpu_names])
+    return result
+
+
+def _make_runner(panel_id: str):
+    mitigation_name, side = PANELS[panel_id]
+
+    def runner(
+        config: Optional[SystemConfig] = None,
+        cpu_names: Optional[List[str]] = None,
+        gpu_names: Optional[List[str]] = None,
+        horizon_ns: int = EXPERIMENT_HORIZON_NS,
+    ) -> ExperimentResult:
+        return _panel(
+            panel_id,
+            mitigation_name,
+            side,
+            config or SystemConfig(),
+            cpu_names or PARSEC_NAMES,
+            gpu_names or GPU_NAMES,
+            horizon_ns,
+        )
+
+    runner.__name__ = f"run_{panel_id}"
+    runner.__doc__ = f"Figure 6 panel {panel_id}: {mitigation_name} ({side} side)."
+    return runner
+
+
+run_fig6a = _make_runner("fig6a")
+run_fig6b = _make_runner("fig6b")
+run_fig6c = _make_runner("fig6c")
+run_fig6d = _make_runner("fig6d")
+run_fig6e = _make_runner("fig6e")
+run_fig6f = _make_runner("fig6f")
+
+for _panel_id, _runner in (
+    ("fig6a", run_fig6a),
+    ("fig6b", run_fig6b),
+    ("fig6c", run_fig6c),
+    ("fig6d", run_fig6d),
+    ("fig6e", run_fig6e),
+    ("fig6f", run_fig6f),
+):
+    register(_panel_id)(_runner)

@@ -1,0 +1,42 @@
+"""Figure 9: CC6 residency under each mitigation combination (ubench).
+
+The microbenchmark runs alone; the bars report sleep residency with no
+SSRs, then with SSRs under each combination.  Paper headlines: 86% with no
+SSRs collapsing to 12% by default; steering -> ~50% (only the IRQ core and
+the worker core stay awake); the monolithic handler behaves similarly (no
+kthread wake-balance IPIs dragging sleeping cores in); coalescing alone
+barely helps; all three together reach 57%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..core import run_workloads
+from ..mitigations import ALL_COMBINATIONS, combination
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("fig9")
+def run(
+    config: Optional[SystemConfig] = None,
+    combos: Optional[List[str]] = None,
+    gpu_name: str = "ubench",
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    combos = combos or list(ALL_COMBINATIONS)
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="CC6 residency under mitigation combinations (ubench alone)",
+        columns=["configuration", "cc6_pct"],
+        notes="percent of core-time in CC6; higher is better",
+    )
+    no_ssr = run_workloads(None, gpu_name, False, config, horizon_ns)
+    result.add_row(f"{gpu_name}_no_SSR", no_ssr.cc6_residency * 100.0)
+    for label in combos:
+        combo_config = combination(config, label)
+        metrics = run_workloads(None, gpu_name, True, combo_config, horizon_ns)
+        result.add_row(label, metrics.cc6_residency * 100.0)
+    return result

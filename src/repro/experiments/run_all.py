@@ -1,0 +1,175 @@
+"""Command-line entry point: regenerate any or all paper figures/tables.
+
+Usage::
+
+    hiss-experiments --list
+    hiss-experiments fig3a fig4
+    hiss-experiments --all --quick
+    python -m repro.experiments.run_all fig12a
+
+``--quick`` trims the workload grid (6 CPU apps, 4 GPU apps) for a fast
+smoke pass; the full grid reproduces every bar the paper plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+# Importing the modules populates the registry.
+from . import (  # noqa: F401
+    energy,
+    fig3a_cpu_slowdown,
+    fig3b_gpu_slowdown,
+    fig4_cc6,
+    fig5_uarch,
+    fig6_mitigations,
+    fig7_pareto_ubench,
+    fig8_pareto_apps,
+    fig9_cc6_mitigations,
+    fig12_qos,
+    stats_ipi,
+    sweeps,
+    table1_ssr_complexity,
+)
+from .common import QUICK_CPU_NAMES, QUICK_GPU_NAMES, REGISTRY, run_experiment
+
+#: Experiments that accept workload-list arguments.
+_TAKES_CPU = {
+    "fig3a", "fig3b", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e",
+    "fig6f", "fig7", "fig8", "fig12a", "fig12b",
+}
+_TAKES_GPU = {"fig3a", "fig3b", "fig4", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig8"}
+
+#: A sensible execution order (roughly the paper's).
+DEFAULT_ORDER = [
+    "table1",
+    "fig3a",
+    "fig3b",
+    "fig4",
+    "fig5",
+    "ipi",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig6e",
+    "fig6f",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig12a",
+    "fig12b",
+]
+
+#: Ablation sweeps beyond the paper's figures (run with --extensions).
+EXTENSION_ORDER = [
+    "energy",
+    "sweep_coalesce",
+    "sweep_outstanding",
+    "sweep_dispatch",
+    "sweep_qos",
+]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hiss-experiments",
+        description="Reproduce the figures/tables of 'Interference from GPU "
+        "System Service Requests' (IISWC 2018) on the simulator.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig3a)")
+    parser.add_argument("--all", action="store_true", help="run every paper experiment")
+    parser.add_argument(
+        "--extensions", action="store_true", help="also run the ablation sweeps"
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workload grid for a fast pass"
+    )
+    parser.add_argument(
+        "--horizon-ms",
+        type=float,
+        default=None,
+        help="override the simulated horizon in milliseconds",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write all results as a JSON document",
+    )
+    parser.add_argument(
+        "--markdown", metavar="FILE", default=None,
+        help="also write all results as a markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in DEFAULT_ORDER + EXTENSION_ORDER:
+            print(experiment_id)
+        return 0
+
+    targets = list(args.experiments)
+    if args.all:
+        targets = list(DEFAULT_ORDER)
+    if args.extensions:
+        targets += [t for t in EXTENSION_ORDER if t not in targets]
+    if not targets:
+        parser.error("no experiments given (use --all, --list, or name some)")
+
+    unknown = [t for t in targets if t not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(REGISTRY)}")
+
+    results = []
+    for experiment_id in targets:
+        kwargs = {}
+        if args.quick:
+            if experiment_id in _TAKES_CPU:
+                kwargs["cpu_names"] = QUICK_CPU_NAMES
+            if experiment_id in _TAKES_GPU:
+                kwargs["gpu_names"] = [
+                    g for g in QUICK_GPU_NAMES if experiment_id != "fig8" or g != "ubench"
+                ]
+        if args.horizon_ms is not None and experiment_id != "table1":
+            kwargs["horizon_ns"] = int(args.horizon_ms * 1_000_000)
+        result = run_experiment(experiment_id, **kwargs)
+        results.append(result)
+        print(result.render())
+        print(f"[{experiment_id} finished in {result.elapsed_s:.1f}s]\n")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([r.as_dict() for r in results], handle, indent=2)
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(render_markdown(results))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+def render_markdown(results) -> str:
+    """Render a list of ExperimentResults as a markdown report."""
+    lines = ["# Reproduced results", ""]
+    for result in results:
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        header = "| " + " | ".join(str(c) for c in result.columns) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * len(result.columns))
+        for row in result.rows:
+            cells = [
+                f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        if result.notes:
+            lines.append("")
+            lines.append(f"*{result.notes}*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

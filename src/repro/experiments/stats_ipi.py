@@ -1,0 +1,57 @@
+"""Section IV-C statistics: interrupt distribution and the IPI explosion.
+
+The paper observes (via ``/proc/interrupts``) that SSR interrupts are
+evenly distributed across all CPUs when the system is busy, and that the
+microbenchmark's SSRs inflate inter-processor interrupts by ~477x (the top
+half waking the bottom-half kthread on other cores).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..core import run_workloads
+from .common import EXPERIMENT_HORIZON_NS, ExperimentResult, register
+
+
+@register("ipi")
+def run(
+    config: Optional[SystemConfig] = None,
+    cpu_name: str = "x264",
+    gpu_name: str = "ubench",
+    horizon_ns: int = EXPERIMENT_HORIZON_NS,
+) -> ExperimentResult:
+    config = config or SystemConfig()
+    result = ExperimentResult(
+        experiment_id="ipi",
+        title="Interrupt distribution and IPI increase from GPU SSRs",
+        columns=["run", "irq_core0", "irq_core1", "irq_core2", "irq_core3", "ipis", "balance"],
+        notes="balance = max/mean interrupts across cores (1.0 = perfectly even)",
+    )
+    rows = {
+        "gpu_alone_no_SSR": run_workloads(None, gpu_name, False, config, horizon_ns),
+        "gpu_alone_SSR": run_workloads(None, gpu_name, True, config, horizon_ns),
+        f"busy({cpu_name})_no_SSR": run_workloads(cpu_name, gpu_name, False, config, horizon_ns),
+        f"busy({cpu_name})_SSR": run_workloads(cpu_name, gpu_name, True, config, horizon_ns),
+    }
+    for label, metrics in rows.items():
+        result.add_row(
+            label,
+            *metrics.interrupts_per_core,
+            metrics.ipis,
+            metrics.interrupt_balance(),
+        )
+    idle_base = max(1, rows["gpu_alone_no_SSR"].ipis)
+    busy_base = max(1, rows[f"busy({cpu_name})_no_SSR"].ipis)
+    result.add_row(
+        "ipi_increase_x",
+        "-",
+        "-",
+        "-",
+        "-",
+        f"idle:{rows['gpu_alone_SSR'].ipis / idle_base:.0f}x "
+        f"busy:{rows[f'busy({cpu_name})_SSR'].ipis / busy_base:.0f}x",
+        "-",
+    )
+    return result

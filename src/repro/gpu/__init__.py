@@ -1,0 +1,20 @@
+"""GPU device models: workload execution, fault issue, signals.
+
+The GPU computes independently and requests OS services (page faults,
+signals) that only host CPUs can execute — the root of the paper's
+interference story.
+"""
+
+from .gpu import GpuDevice, HostRuntimeThread
+from .signals import SignalPath
+from .trace import TraceDrivenGpu, TraceEvent, format_trace, parse_trace
+
+__all__ = [
+    "GpuDevice",
+    "HostRuntimeThread",
+    "SignalPath",
+    "TraceDrivenGpu",
+    "TraceEvent",
+    "format_trace",
+    "parse_trace",
+]

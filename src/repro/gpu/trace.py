@@ -1,0 +1,115 @@
+"""Trace-driven GPU workloads: replay recorded or hand-written SSR streams.
+
+The statistical profiles in :mod:`repro.workloads.gpuapps` cover the
+paper's applications, but researchers often have *fault traces* from real
+drivers (timestamped page-fault logs).  :class:`TraceDrivenGpu` replays
+such a trace against the simulated host, honouring the same hardware
+backpressure limits as the profile-driven device — so any question the
+reproduction answers for synthetic workloads can be asked of a recorded
+one.
+
+A trace is a sequence of :class:`TraceEvent` entries; helpers convert
+to/from a simple text format (``time_ns count [kind]`` per line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, List, Sequence, TYPE_CHECKING
+
+from ..iommu.iommu import Iommu
+from ..iommu.request import SSR_CATALOG, SsrRequest
+from ..sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oskernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """``count`` SSRs of ``kind`` issued at absolute time ``time_ns``."""
+
+    time_ns: int
+    count: int = 1
+    kind: str = "page_fault"
+
+    def __post_init__(self):
+        if self.time_ns < 0:
+            raise ValueError(f"negative timestamp {self.time_ns}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind not in SSR_CATALOG:
+            raise ValueError(f"unknown SSR kind {self.kind!r}")
+
+
+def parse_trace(text: str) -> List[TraceEvent]:
+    """Parse the ``time_ns count [kind]`` line format ('#' comments)."""
+    events = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(f"line {line_number}: expected 'time count [kind]'")
+        kind = parts[2] if len(parts) == 3 else "page_fault"
+        events.append(TraceEvent(int(parts[0]), int(parts[1]), kind))
+    events.sort(key=lambda e: e.time_ns)
+    return events
+
+
+def format_trace(events: Iterable[TraceEvent]) -> str:
+    """Render events back to the text format."""
+    return "\n".join(f"{e.time_ns} {e.count} {e.kind}" for e in events)
+
+
+class TraceDrivenGpu:
+    """A GPU device that replays a fixed SSR trace.
+
+    Issue timing honours the trace, except when hardware backpressure
+    (the outstanding-SSR limit or a full PPR queue) forces a stall — the
+    replay then slips, exactly as real hardware would.
+    """
+
+    def __init__(self, kernel: "Kernel", iommu: Iommu, trace: Sequence[TraceEvent]):
+        self.kernel = kernel
+        self.env = kernel.env
+        self.iommu = iommu
+        self.trace = sorted(trace, key=lambda e: e.time_ns)
+        self.outstanding = Resource(
+            kernel.env, capacity=kernel.config.gpu.max_outstanding_ssrs
+        )
+        self.faults_issued = 0
+        self.faults_completed = 0
+        #: Accumulated issue-time slip caused by backpressure.
+        self.slip_ns = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("trace replay already started")
+        self._started = True
+        self.env.process(self._run())
+
+    def _run(self) -> Generator:
+        for event in self.trace:
+            if self.env.now < event.time_ns:
+                yield self.env.timeout(event.time_ns - self.env.now)
+            else:
+                self.slip_ns += self.env.now - event.time_ns
+            kind = SSR_CATALOG[event.kind]
+            for _ in range(event.count):
+                yield self.outstanding.request()
+                request = SsrRequest(
+                    request_id=self.iommu.allocate_request_id(),
+                    kind=kind,
+                    issued_at=self.env.now,
+                    completion=self.env.event(),
+                )
+                yield self.iommu.submit(request)
+                self.faults_issued += 1
+                request.completion.callbacks.append(self._on_complete)
+
+    def _on_complete(self, _event) -> None:
+        self.faults_completed += 1
+        self.outstanding.release()

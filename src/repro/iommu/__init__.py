@@ -1,0 +1,33 @@
+"""IOMMU model: bounded PPR queue, interrupt coalescing, and the host driver.
+
+This is the hardware/driver boundary the paper's SSRs cross: devices submit
+page requests, the IOMMU raises (possibly coalesced) MSIs, and the driver
+runs the split or monolithic handling chain of Figure 1.
+"""
+
+from .driver import BottomHalfThread, IommuDriver
+from .iommu import Iommu
+from .request import (
+    HIGH,
+    LOW,
+    LatencyStats,
+    MODERATE,
+    MODERATE_TO_HIGH,
+    SSR_CATALOG,
+    SsrKind,
+    SsrRequest,
+)
+
+__all__ = [
+    "BottomHalfThread",
+    "HIGH",
+    "Iommu",
+    "IommuDriver",
+    "LOW",
+    "LatencyStats",
+    "MODERATE",
+    "MODERATE_TO_HIGH",
+    "SSR_CATALOG",
+    "SsrKind",
+    "SsrRequest",
+]

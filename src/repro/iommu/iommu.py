@@ -1,0 +1,121 @@
+"""The IOMMU device model: PPR queue, interrupt coalescing, MSI raising.
+
+Faulting devices submit :class:`~repro.iommu.request.SsrRequest` objects.
+Each lands in the bounded Peripheral Page Request (PPR) queue — when the
+queue is full the submitting device *stalls* (hardware backpressure), which
+is the substrate the Section VI QoS governor leans on.
+
+Interrupt coalescing (Section V-B) models the PCIe ``D0F2xF4_x93`` register:
+the IOMMU may defer its MSI up to a configured window, folding requests
+that arrive meanwhile into one interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from collections import deque
+
+from ..oskernel import accounting as acct
+from ..sim import Event, Store
+from .request import LatencyStats, SsrRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oskernel.kernel import Kernel
+
+
+class Iommu:
+    """IOMMU front end between faulting devices and the host driver."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.env = kernel.env
+        self.config = kernel.config.iommu
+        coalesce = kernel.config.mitigation.coalesce_window_ns
+        self.coalesce_window_ns = coalesce
+        #: Bounded PPR queue: `put` pends when full (device backpressure).
+        self.ppr_queue = Store(self.env, capacity=self.config.ppr_queue_entries)
+        #: Called with the batch size when the MSI should be raised.
+        self.on_interrupt: Optional[Callable[[int], None]] = None
+        self.latency = LatencyStats()
+        #: Ring buffer of recently completed requests (stage tracing).
+        self.recent_completed = deque(maxlen=1024)
+        self._uncounted = 0  # requests accepted but not yet covered by an MSI
+        self._window_generation = 0
+        self._window_armed = False
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Device-facing API
+    # ------------------------------------------------------------------
+    def submit(self, request: SsrRequest) -> Event:
+        """Submit an SSR; the returned event fires when the PPR queue
+        accepts it (it pends while the queue is full)."""
+        self.kernel.counters.bump(acct.CTR_SSR_REQUEST)
+        request.stages["submitted"] = self.env.now
+        accepted = self.ppr_queue.put(request)
+        accepted.callbacks.append(lambda _event: self._on_accepted(request))
+        return accepted
+
+    def _on_accepted(self, request: SsrRequest) -> None:
+        request.stages["accepted"] = self.env.now
+        # The fault becomes interrupt-worthy a little later (HW latency).
+        self.env.call_later(self.config.fault_to_interrupt_ns, self._count_request)
+
+    def _count_request(self) -> None:
+        self._uncounted += 1
+        if self.coalesce_window_ns <= 0:
+            self._raise_interrupt()
+            return
+        if self._uncounted >= self.config.max_coalesce_batch:
+            self._raise_interrupt()
+            return
+        if not self._window_armed:
+            self._window_armed = True
+            generation = self._window_generation
+            self.env.call_later(
+                self.coalesce_window_ns, lambda: self._window_expired(generation)
+            )
+
+    def _window_expired(self, generation: int) -> None:
+        if generation != self._window_generation:
+            return  # the window was already closed by a batch-size trigger
+        self._window_armed = False
+        if self._uncounted:
+            self._raise_interrupt()
+
+    def _raise_interrupt(self) -> None:
+        batch = self._uncounted
+        self._uncounted = 0
+        self._window_generation += 1
+        self._window_armed = False
+        if batch and self.on_interrupt is not None:
+            self.on_interrupt(batch)
+
+    # ------------------------------------------------------------------
+    # Driver-facing API
+    # ------------------------------------------------------------------
+    def drain_ready(self) -> List[SsrRequest]:
+        """Pop every PPR entry currently in the log (bottom half read)."""
+        drained: List[SsrRequest] = []
+        now = self.env.now
+        while True:
+            ok, request = self.ppr_queue.try_get()
+            if not ok:
+                break
+            request.stages["drained"] = now
+            drained.append(request)
+        return drained
+
+    def complete_request(self, request: SsrRequest) -> None:
+        """Step 6: tell the device its request is done."""
+        request.completed_at = self.env.now
+        request.stages["completed"] = self.env.now
+        self.latency.record(request.latency_ns)
+        self.kernel.ssr_accounting.note_completion()
+        self.recent_completed.append(request)
+        request.completion.succeed()
+
+    def allocate_request_id(self) -> int:
+        self._next_request_id += 1
+        return self._next_request_id

@@ -1,0 +1,67 @@
+"""NAPI-style polled SSR servicing (the Related-Work alternative).
+
+The paper's Related Work cites Mogul & Ramakrishnan's receive-livelock
+solution — fall back to polling when interrupts storm — and notes that
+"polling for accelerator SSRs, however, could result in much higher
+relative CPU overheads".  This module implements the design so that claim
+can be measured:
+
+* SSR interrupts are disabled entirely (the IOMMU never raises an MSI),
+* a dedicated polling kthread wakes every ``polling_period_ns``, drains
+  the PPR log, pre-processes, and queues worker items — paying the poll
+  cost *whether or not anything arrived*.
+
+Steering composes naturally: the poller pins to the steering target.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from ..oskernel.thread import KIND_KTHREAD, PRIO_KTHREAD, Thread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .driver import IommuDriver
+    from ..oskernel.kernel import Kernel
+
+#: CPU cost of one poll that finds the queue empty (register reads).
+EMPTY_POLL_COST_NS = 400
+
+
+class PollingThread(Thread):
+    """A kthread that services the PPR queue by polling."""
+
+    def __init__(self, kernel: "Kernel", driver: "IommuDriver"):
+        mitigation = kernel.config.mitigation
+        pinned = mitigation.steering_target if mitigation.steer_to_single_core else 0
+        super().__init__(
+            kernel,
+            name="iommu/poll",
+            kind=KIND_KTHREAD,
+            priority=PRIO_KTHREAD,
+            pinned_core=pinned,
+        )
+        self.driver = driver
+        self.polls = 0
+        self.empty_polls = 0
+        self.requests_serviced = 0
+
+    def body(self) -> Generator:
+        period = self.kernel.config.mitigation.polling_period_ns
+        while True:
+            yield from self.sleep(period)
+            self.polls += 1
+            requests = self.driver.iommu.drain_ready()
+            if not requests:
+                self.empty_polls += 1
+                # The poll itself costs CPU even when nothing arrived --
+                # the structural downside of polling for sparse SSRs.
+                yield from self.run_for(EMPTY_POLL_COST_NS)
+                self.kernel.ssr_accounting.add(EMPTY_POLL_COST_NS)
+                if self.core is not None:
+                    self._release_cpu(requeue=False)
+                continue
+            self.requests_serviced += len(requests)
+            yield from self.driver.preprocess_and_queue(self, requests)
+            if self.core is not None:
+                self._release_cpu(requeue=False)

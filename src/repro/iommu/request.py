@@ -1,0 +1,116 @@
+"""System service request (SSR) objects and the Table I service catalog.
+
+Each SSR kind carries a qualitative complexity (as in the paper's Table I)
+and a calibrated worker-stage service time.  Page faults are the SSR the
+paper's evaluation exercises (soft faults: no disk I/O); the other kinds
+are exposed for the examples and the Table I experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim import Event
+
+#: Qualitative complexity labels (Table I).
+LOW = "Low"
+MODERATE = "Moderate"
+MODERATE_TO_HIGH = "Moderate to High"
+HIGH = "High"
+
+
+@dataclass(frozen=True)
+class SsrKind:
+    """A category of system service request."""
+
+    name: str
+    description: str
+    complexity: str
+    #: Worker-stage service time (step 5 of Fig. 1), nanoseconds.
+    service_ns: int
+
+
+#: The paper's Table I, with calibrated service times.
+SSR_CATALOG: Dict[str, SsrKind] = {
+    kind.name: kind
+    for kind in (
+        SsrKind(
+            "signal",
+            "Allows GPUs to communicate with other processes.",
+            LOW,
+            1_500,
+        ),
+        SsrKind(
+            "page_fault",
+            "Enables GPUs to use un-pinned memory (soft fault).",
+            MODERATE_TO_HIGH,
+            6_000,
+        ),
+        SsrKind(
+            "memory_allocation",
+            "Allocate and free memory from the GPU.",
+            MODERATE,
+            9_000,
+        ),
+        SsrKind(
+            "filesystem",
+            "Directly access/modify files from the GPU.",
+            HIGH,
+            45_000,
+        ),
+        SsrKind(
+            "page_migration",
+            "GPU-initiated memory migration.",
+            HIGH,
+            30_000,
+        ),
+    )
+}
+
+
+@dataclass
+class SsrRequest:
+    """One in-flight SSR."""
+
+    request_id: int
+    kind: SsrKind
+    issued_at: int
+    #: Succeeds when the host has fully serviced the request (step 6).
+    completion: Event = None
+    completed_at: Optional[int] = None
+    #: Per-stage timestamps through the handling chain (see
+    #: :mod:`repro.core.tracing`): submitted, accepted, drained, queued,
+    #: service_start, completed.
+    stages: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+    def stage_delta(self, start: str, end: str) -> Optional[int]:
+        """Time between two recorded stages, if both were stamped."""
+        if start in self.stages and end in self.stages:
+            return self.stages[end] - self.stages[start]
+        return None
+
+
+class LatencyStats:
+    """Streaming latency statistics for completed SSRs."""
+
+    def __init__(self):
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+
+    def record(self, latency_ns: int) -> None:
+        self.count += 1
+        self.total_ns += latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0

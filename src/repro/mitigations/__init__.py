@@ -1,0 +1,28 @@
+"""Mitigation strategies from Section V, as configuration helpers.
+
+The three techniques are orthogonal and freely combinable (Section V-D):
+
+* interrupt steering to a single core (high-speed networking heritage),
+* IOMMU interrupt coalescing (NIC/storage heritage, 13 µs max window),
+* a monolithic bottom-half handler (driver restructuring).
+"""
+
+from .combinations import (
+    ALL_COMBINATIONS,
+    COMBINATION_LABELS,
+    apply_mitigations,
+    coalescing,
+    combination,
+    monolithic,
+    steering,
+)
+
+__all__ = [
+    "ALL_COMBINATIONS",
+    "COMBINATION_LABELS",
+    "apply_mitigations",
+    "coalescing",
+    "combination",
+    "monolithic",
+    "steering",
+]

@@ -1,0 +1,65 @@
+"""Constructors for mitigation configurations and their combinations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import COALESCE_WINDOW_PAPER_NS, SystemConfig
+
+
+def steering(config: SystemConfig, target: int = 0) -> SystemConfig:
+    """Steer all SSR interrupts (and the bottom-half kthread) to one core."""
+    return config.with_mitigation(steer_to_single_core=True, steering_target=target)
+
+
+def coalescing(config: SystemConfig, window_ns: int = COALESCE_WINDOW_PAPER_NS) -> SystemConfig:
+    """Enable IOMMU interrupt coalescing (paper maximum: 13 µs)."""
+    return config.with_mitigation(coalesce_window_ns=window_ns)
+
+
+def monolithic(config: SystemConfig) -> SystemConfig:
+    """Fold the bottom half into the hard-IRQ top half."""
+    return config.with_mitigation(monolithic_bottom_half=True)
+
+
+def apply_mitigations(
+    config: SystemConfig,
+    steer: bool = False,
+    coalesce: bool = False,
+    mono: bool = False,
+) -> SystemConfig:
+    """Apply any combination of the three mitigations."""
+    if steer:
+        config = steering(config)
+    if coalesce:
+        config = coalescing(config)
+    if mono:
+        config = monolithic(config)
+    return config
+
+
+#: The eight combinations of the Section V-D Pareto study, as
+#: (steer, coalesce, monolithic) flags keyed by the paper's legend labels.
+ALL_COMBINATIONS: Dict[str, Tuple[bool, bool, bool]] = {
+    "Default": (False, False, False),
+    "Intr_to_single_core": (True, False, False),
+    "Intr_coalescing": (False, True, False),
+    "Monolithic_bottom_half": (False, False, True),
+    "Intr_to_single_core + Intr_coalescing": (True, True, False),
+    "Intr_to_single_core + Monolithic_bottom_half": (True, False, True),
+    "Intr_coalescing + Monolithic_bottom_half": (False, True, True),
+    "Intr_to_single_core + Intr_coalescing + Monolithic_bottom_half": (True, True, True),
+}
+
+COMBINATION_LABELS: List[str] = list(ALL_COMBINATIONS)
+
+
+def combination(config: SystemConfig, label: str) -> SystemConfig:
+    """Build the configuration for one of the paper's eight combinations."""
+    try:
+        steer, coalesce, mono = ALL_COMBINATIONS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown combination {label!r}; known: {COMBINATION_LABELS}"
+        ) from None
+    return apply_mitigations(config, steer=steer, coalesce=coalesce, mono=mono)

@@ -1,0 +1,67 @@
+"""OS kernel model: threads, scheduler, cores, IRQs, work queues, C-states.
+
+This package simulates the Linux-side machinery the paper's SSR handling
+chain runs through (Figure 1): hard-IRQ top halves, a bottom-half kthread,
+per-core kworkers, priority scheduling with wakeup preemption, resched
+IPIs, and CC6 sleep with entry/exit latencies.
+"""
+
+from . import accounting
+from .accounting import CounterSet, SsrAccounting, TimeAccounting
+from .cpu import AWAKE, Core, SLEEPING, TRANSITIONING
+from .idle import IdleThread
+from .irq import (
+    DeliveryPolicy,
+    InterruptController,
+    Irq,
+    RoundRobinAllDeliveryPolicy,
+    SingleCoreDeliveryPolicy,
+    SpreadDeliveryPolicy,
+)
+from .kernel import HousekeepingDaemon, Kernel
+from .scheduler import Scheduler
+from .thread import (
+    KIND_DAEMON,
+    KIND_IDLE,
+    KIND_KTHREAD,
+    KIND_KWORKER,
+    KIND_USER,
+    PRIO_IDLE,
+    PRIO_KTHREAD,
+    PRIO_NORMAL,
+    Thread,
+)
+from .workqueue import KWorker, WorkItem, WorkQueues
+
+__all__ = [
+    "AWAKE",
+    "Core",
+    "CounterSet",
+    "DeliveryPolicy",
+    "HousekeepingDaemon",
+    "IdleThread",
+    "InterruptController",
+    "Irq",
+    "KIND_DAEMON",
+    "KIND_IDLE",
+    "KIND_KTHREAD",
+    "KIND_KWORKER",
+    "KIND_USER",
+    "KWorker",
+    "Kernel",
+    "PRIO_IDLE",
+    "PRIO_KTHREAD",
+    "PRIO_NORMAL",
+    "RoundRobinAllDeliveryPolicy",
+    "SLEEPING",
+    "Scheduler",
+    "SingleCoreDeliveryPolicy",
+    "SpreadDeliveryPolicy",
+    "SsrAccounting",
+    "Thread",
+    "TimeAccounting",
+    "TRANSITIONING",
+    "WorkItem",
+    "WorkQueues",
+    "accounting",
+]

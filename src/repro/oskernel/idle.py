@@ -1,0 +1,94 @@
+"""The per-core idle thread and CC6 sleep management.
+
+Each core always has a runnable idle thread at the lowest priority.  When
+granted the core, it services stray IRQs, waits out the C-state entry grace
+period, and drops into CC6 (paying entry latency and flushing the L1, per
+AMD Family 15h behaviour).  Interrupts or wakeups pay the CC6 exit latency
+— which is why the paper observes that *sleeping* CPUs respond slightly
+slower to SSRs than busy-but-preemptible ones.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from ..sim import Interrupt
+from . import accounting as acct
+from .cpu import AWAKE, SLEEPING, TRANSITIONING
+from .thread import KIND_IDLE, PRIO_IDLE, Thread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class IdleThread(Thread):
+    """The swapper: occupies a core when nothing else is runnable."""
+
+    def __init__(self, kernel: "Kernel", core_id: int):
+        super().__init__(
+            kernel,
+            name=f"swapper/{core_id}",
+            kind=KIND_IDLE,
+            priority=PRIO_IDLE,
+            pinned_core=core_id,
+        )
+
+    def body(self) -> Generator:
+        cstate = self.kernel.config.cstate
+        scheduler = self.kernel.scheduler
+        while True:
+            if self.core is None:
+                yield from self._acquire_cpu()
+            core = self.core
+            if core.has_pending_irqs():
+                yield from core.service_pending_irqs(self)
+                continue
+            if scheduler.has_work(core):
+                self._release_cpu(requeue=True)
+                continue
+
+            # Awake-idle: wait out the grace period before deep sleep.
+            core.begin_segment(acct.IDLE, self, 0.0)
+            self.interruptible = True
+            try:
+                yield self.env.timeout(cstate.entry_grace_ns)
+                grace_elapsed = True
+            except Interrupt:
+                grace_elapsed = False
+            finally:
+                self.interruptible = False
+            core.end_segment()
+            if not grace_elapsed:
+                continue  # handle whatever woke us at the top of the loop
+
+            # Enter CC6.
+            core.sleep_state = TRANSITIONING
+            core.begin_segment(acct.TRANSITION, self, 0.0)
+            yield from self._uninterruptible_delay(cstate.entry_latency_ns)
+            core.end_segment()
+            if core.has_pending_irqs() or scheduler.has_work(core):
+                # A wakeup raced the entry transition: abort the sleep
+                # instead of parking with work queued (lost-wakeup hazard).
+                core.sleep_state = AWAKE
+                continue
+            if cstate.flush_caches_on_entry:
+                core.uarch.flush_for_deep_sleep()
+            core.sleep_state = SLEEPING
+
+            core.begin_segment(acct.CC6, self, 0.0)
+            self.interruptible = True
+            try:
+                yield self.env.event()  # sleep until something interrupts us
+            except Interrupt:
+                pass
+            finally:
+                self.interruptible = False
+            core.end_segment()
+
+            # Exit latency: the wake reason (IRQ/resched) waits this long.
+            self.kernel.counters.bump(acct.CTR_CORE_WAKEUP)
+            core.sleep_state = TRANSITIONING
+            core.begin_segment(acct.TRANSITION, self, 0.0)
+            yield from self._uninterruptible_delay(cstate.exit_latency_ns)
+            core.end_segment()
+            core.sleep_state = AWAKE

@@ -1,0 +1,6 @@
+"""CPU quality-of-service under accelerator SSRs (paper Section VI)."""
+
+from .adaptive import AdaptiveQosGovernor
+from .governor import QosGovernor
+
+__all__ = ["AdaptiveQosGovernor", "QosGovernor"]

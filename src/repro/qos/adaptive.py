@@ -1,0 +1,65 @@
+"""Adaptive QoS: the paper's stated future work, implemented.
+
+Section VI closes with: *"Our current mechanism needs the system
+administrator to set the throttling rate.  This can possibly be avoided by
+dynamically setting the throttling rate based on characteristics of the
+applications running at any given time."*
+
+:class:`AdaptiveQosGovernor` does exactly that.  Its sampler additionally
+observes how much of the CPU complex is actually idle (cores running their
+idle thread or sleeping) and scales the allowed SSR time budget with the
+idle share: an idle host donates nearly all of its capacity to the
+accelerator; a fully loaded host pins the budget to a small floor.  The
+enforcement mechanism (exponential back-off in the worker, device
+backpressure) is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from .governor import QosGovernor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oskernel.kernel import Kernel
+
+
+class AdaptiveQosGovernor(QosGovernor):
+    """A governor whose threshold tracks the host's idle capacity."""
+
+    def __init__(self, kernel: "Kernel"):
+        super().__init__(kernel)
+        #: EWMA of the fraction of cores with no application demand.
+        self.idle_share = 1.0
+        #: The currently effective (dynamic) threshold.
+        self.effective_threshold = 1.0
+
+    def _sampler(self) -> Generator:
+        period = self.config.sample_period_ns
+        cores = self.kernel.cores
+        num_cores = len(cores)
+        alpha = min(1.0, period / self.config.averaging_window_ns)
+        floor = self.config.adaptive_floor
+        while True:
+            yield self.kernel.env.timeout(period)
+            window_ns = self.kernel.ssr_accounting.take_window()
+            sample = window_ns / (period * num_cores)
+            self.current_fraction = (
+                alpha * sample + (1.0 - alpha) * self.current_fraction
+            )
+            idle_now = sum(1 for core in cores if self._core_is_idle(core)) / num_cores
+            self.idle_share = alpha * idle_now + (1.0 - alpha) * self.idle_share
+            self.effective_threshold = floor + self.idle_share * (1.0 - floor)
+            self.over_threshold = self.current_fraction > self.effective_threshold
+
+    @staticmethod
+    def _core_is_idle(core) -> bool:
+        """Truly idle: running its idle thread or sleeping.
+
+        Cores busy servicing SSRs count as *busy*: the accelerator may only
+        consume capacity that would otherwise sleep, so the system settles
+        at "SSR usage == idle share" — donate-idle-cycles semantics.  A
+        host saturated with application threads pins the budget to the
+        floor."""
+        current = core.current
+        return core.is_sleeping or current is None or current.kind == "idle"

@@ -1,0 +1,79 @@
+"""The Section VI QoS governor: bounded SSR time via exponential back-off.
+
+Two cooperating parts, exactly as the paper describes:
+
+1. A background sampler periodically computes the fraction of CPU time
+   spent servicing SSRs over the last window (the OS routines already
+   account their SSR cycles into :class:`~repro.oskernel.accounting.SsrAccounting`).
+2. The kworker consults :meth:`gate` before servicing each SSR.  While the
+   measured fraction exceeds the administrator's threshold, servicing is
+   delayed with exponential back-off starting at 10 µs (Figure 11).  The
+   delay fills the GPU's bounded outstanding-SSR window, back-pressuring
+   the accelerator without rejecting requests or modifying the device.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oskernel.kernel import Kernel
+    from ..oskernel.thread import Thread
+
+
+class QosGovernor:
+    """Throttles SSR servicing to a configured CPU-time budget."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.config = kernel.config.qos
+        if not self.config.enabled:
+            raise ValueError("QosGovernor created but qos.enabled is False")
+        #: Latest sampled SSR CPU-time fraction.
+        self.current_fraction = 0.0
+        self.over_threshold = False
+        #: Current back-off delay (0 while under threshold).
+        self.delay_ns = 0
+        # --- statistics ------------------------------------------------
+        self.throttle_events = 0
+        self.total_delay_ns = 0
+        self.max_delay_ns_seen = 0
+        kernel.env.process(self._sampler())
+
+    def _sampler(self) -> Generator:
+        """The kernel background thread of Section VI (metadata-only cost).
+
+        Tracks an exponentially-weighted average of the per-window SSR
+        time fraction so that enforcement reflects the recent budget use
+        rather than flapping on individual quiet windows."""
+        period = self.config.sample_period_ns
+        cores = self.kernel.config.cpu.num_cores
+        alpha = min(1.0, period / self.config.averaging_window_ns)
+        while True:
+            yield self.kernel.env.timeout(period)
+            window_ns = self.kernel.ssr_accounting.take_window()
+            sample = window_ns / (period * cores)
+            self.current_fraction = (
+                alpha * sample + (1.0 - alpha) * self.current_fraction
+            )
+            self.over_threshold = self.current_fraction > self.config.ssr_time_threshold
+
+    def gate(self, worker: "Thread") -> Generator:
+        """Run by a kworker before servicing an SSR item (Figure 11).
+
+        Under threshold: reset the delay and proceed.  Over threshold:
+        double the delay (from 10 µs) and sleep it off-CPU, letting
+        device-side backpressure build.
+        """
+        if not self.over_threshold:
+            self.delay_ns = 0
+            return
+        if self.delay_ns == 0:
+            self.delay_ns = self.config.initial_delay_ns
+        else:
+            self.delay_ns = min(self.delay_ns * 2, self.config.max_delay_ns)
+        self.throttle_events += 1
+        self.total_delay_ns += self.delay_ns
+        if self.delay_ns > self.max_delay_ns_seen:
+            self.max_delay_ns_seen = self.delay_ns
+        yield from worker.sleep(self.delay_ns)

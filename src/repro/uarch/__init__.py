@@ -1,0 +1,41 @@
+"""Microarchitecture models: owner-tagged L1D cache and gshare predictor.
+
+These structures are *shared* between user threads and kernel SSR handlers
+running on the same core, so interference (line eviction, predictor
+retraining) is mechanistic rather than assumed.  They drive the paper's
+Figure 5 (microarchitectural effects of GPU SSRs).
+"""
+
+from .branch import BranchStats, GShareBranchPredictor
+from .cache import CacheStats, SetAssociativeCache
+from .state import (
+    CoreUarchState,
+    Disturbance,
+    KERNEL_OWNER,
+    UarchConfig,
+    measure_steady_state,
+)
+from .streams import (
+    AddressStreamSpec,
+    BranchStreamSpec,
+    generate_addresses,
+    generate_branches,
+    sequential_addresses,
+)
+
+__all__ = [
+    "AddressStreamSpec",
+    "BranchStats",
+    "BranchStreamSpec",
+    "CacheStats",
+    "CoreUarchState",
+    "Disturbance",
+    "GShareBranchPredictor",
+    "KERNEL_OWNER",
+    "SetAssociativeCache",
+    "UarchConfig",
+    "generate_addresses",
+    "generate_branches",
+    "measure_steady_state",
+    "sequential_addresses",
+]

@@ -1,0 +1,159 @@
+"""Per-core microarchitectural state and the pollution API.
+
+Each simulated CPU core owns a :class:`CoreUarchState`: an L1D cache model
+and a branch predictor.  User threads and kernel SSR handlers push their
+(sampled) streams through these *shared* structures, so kernel handlers
+genuinely evict user lines and retrain user predictor entries.  The core
+model converts the resulting disturbance counts into stall cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Tuple
+
+from .branch import GShareBranchPredictor
+from .cache import SetAssociativeCache
+from .streams import (
+    AddressStreamSpec,
+    BranchStreamSpec,
+    generate_addresses,
+    generate_branches,
+)
+
+#: Owner tag used by all kernel-mode execution.
+KERNEL_OWNER = "kernel"
+
+
+@dataclass(frozen=True)
+class UarchConfig:
+    """Geometry of the per-core structures (scaled-down L1-class sizes)."""
+
+    cache_sets: int = 64
+    cache_ways: int = 8
+    line_size: int = 64
+    predictor_entries: int = 1024
+    #: Global-history bits mixed into the predictor index.  The default of 0
+    #: (a bimodal predictor) is deliberate: the synthetic branch streams have
+    #: no real history correlation, so history bits would only inject index
+    #: noise and push every stream toward a 50% mispredict rate.
+    history_bits: int = 0
+
+    def make_cache(self) -> SetAssociativeCache:
+        return SetAssociativeCache(self.cache_sets, self.cache_ways, self.line_size)
+
+    def make_predictor(self) -> GShareBranchPredictor:
+        return GShareBranchPredictor(self.predictor_entries, self.history_bits)
+
+
+@dataclass
+class Disturbance:
+    """What one kernel window did to a given user owner's state."""
+
+    lines_evicted: int = 0
+    entries_retrained: int = 0
+
+
+class CoreUarchState:
+    """The cache + predictor pair of one core, with disturbance accounting."""
+
+    def __init__(self, config: UarchConfig, rng: Random):
+        self.config = config
+        self.l1d = config.make_cache()
+        self.predictor = config.make_predictor()
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Stream execution
+    # ------------------------------------------------------------------
+    def run_user_window(
+        self,
+        owner: str,
+        addr_spec: AddressStreamSpec,
+        branch_spec: BranchStreamSpec,
+        accesses: int,
+        branches: int,
+    ) -> Tuple[int, int]:
+        """Run a sampled user window; returns (misses, mispredicts)."""
+        misses = 0
+        for address in generate_addresses(addr_spec, accesses, self._rng):
+            if not self.l1d.access(address, owner):
+                misses += 1
+        mispredicts = 0
+        for pc, taken in generate_branches(branch_spec, branches, self._rng):
+            if not self.predictor.execute(pc, taken, owner):
+                mispredicts += 1
+        return misses, mispredicts
+
+    def run_kernel_window(
+        self,
+        addr_spec: AddressStreamSpec,
+        branch_spec: BranchStreamSpec,
+        accesses: int,
+        branches: int,
+    ) -> Dict[str, Disturbance]:
+        """Run a kernel handler's stream; returns per-victim disturbance.
+
+        The handler's accesses evict whoever is resident; the returned map
+        tells the core model how many lines/entries each *user* owner lost
+        to this window, so the cost can be charged when that owner resumes.
+        """
+        cache_stats = self.l1d.stats
+        branch_stats = self.predictor.stats
+        evictions_before = dict(cache_stats.evictions_caused)
+        retrains_before = dict(branch_stats.entries_disturbed)
+
+        for address in generate_addresses(addr_spec, accesses, self._rng):
+            self.l1d.access(address, KERNEL_OWNER)
+        for pc, taken in generate_branches(branch_spec, branches, self._rng):
+            self.predictor.execute(pc, taken, KERNEL_OWNER)
+
+        disturbances: Dict[str, Disturbance] = {}
+        for (source, victim), count in cache_stats.evictions_caused.items():
+            if source != KERNEL_OWNER or victim == KERNEL_OWNER:
+                continue
+            delta = count - evictions_before.get((source, victim), 0)
+            if delta > 0:
+                disturbances.setdefault(victim, Disturbance()).lines_evicted += delta
+        for (source, victim), count in branch_stats.entries_disturbed.items():
+            if source != KERNEL_OWNER or victim == KERNEL_OWNER:
+                continue
+            delta = count - retrains_before.get((source, victim), 0)
+            if delta > 0:
+                disturbances.setdefault(victim, Disturbance()).entries_retrained += delta
+        return disturbances
+
+    # ------------------------------------------------------------------
+    # Sleep-state interaction
+    # ------------------------------------------------------------------
+    def flush_for_deep_sleep(self) -> int:
+        """CC6 entry flushes the cache (its amortization cost in the paper)."""
+        return self.l1d.flush()
+
+
+def measure_steady_state(
+    addr_spec: AddressStreamSpec,
+    branch_spec: BranchStreamSpec,
+    config: UarchConfig,
+    seed: int = 12345,
+    warmup_accesses: int = 8192,
+    sample_accesses: int = 8192,
+) -> Tuple[float, float]:
+    """Measure a profile's solo steady-state miss and mispredict rates.
+
+    Runs the profile alone on fresh structures: warm up, then measure.
+    Used once per workload profile (results are cached by the caller) to
+    derive the *baseline* CPI against which interference is charged.
+    """
+    state = CoreUarchState(config, Random(seed))
+    owner = "probe"
+    # Warm-up phase.
+    state.run_user_window(owner, addr_spec, branch_spec, warmup_accesses, warmup_accesses // 2)
+    state.l1d.stats.reset()
+    state.predictor.stats.reset()
+    # Measurement phase.
+    state.run_user_window(owner, addr_spec, branch_spec, sample_accesses, sample_accesses // 2)
+    miss_rate = state.l1d.stats.miss_rate(owner)
+    mispredict_rate = state.predictor.stats.mispredict_rate(owner)
+    return miss_rate, mispredict_rate

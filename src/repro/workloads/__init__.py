@@ -1,0 +1,32 @@
+"""Workload models: PARSEC CPU profiles and GPU SSR-generating apps."""
+
+from .barrier import Barrier
+from .calibration import (
+    SteadyState,
+    address_spec_for,
+    branch_spec_for,
+    steady_state_for,
+)
+from .cpuapp import CpuApp, CpuAppThread
+from .gpuapps import GPU_APP_NAMES, GPU_NAMES, GPU_PROFILES, gpu_app
+from .parsec import PARSEC_NAMES, PARSEC_PROFILES, parsec
+from .profiles import CpuAppProfile, GpuAppProfile
+
+__all__ = [
+    "Barrier",
+    "CpuApp",
+    "CpuAppProfile",
+    "CpuAppThread",
+    "GPU_APP_NAMES",
+    "GPU_NAMES",
+    "GPU_PROFILES",
+    "GpuAppProfile",
+    "PARSEC_NAMES",
+    "PARSEC_PROFILES",
+    "SteadyState",
+    "address_spec_for",
+    "branch_spec_for",
+    "gpu_app",
+    "parsec",
+    "steady_state_for",
+]

@@ -1,0 +1,176 @@
+"""CPU application threads built from statistical profiles.
+
+A :class:`CpuApp` spawns one :class:`CpuAppThread` per profile thread.
+Threads compute in chunks, optionally barrier-synchronize, optionally
+think (off-CPU) between chunks, and keep their cache/predictor footprint
+resident via sampled windows so kernel SSR handlers have real state to
+evict.
+
+The app's *performance* is total retired instructions over the measured
+horizon — productive time divided by the profile's solo steady-state CPI —
+which is exactly what the paper's normalized-performance bars compare.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, List, Optional, TYPE_CHECKING
+
+from ..oskernel.thread import KIND_USER, PRIO_NORMAL, Thread
+from .barrier import Barrier
+from .calibration import SteadyState, address_spec_for, branch_spec_for, steady_state_for
+from .profiles import CpuAppProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oskernel.cpu import Core
+    from ..oskernel.kernel import Kernel
+
+#: Global owner-index allocator so every thread gets a distinct address region.
+_owner_counter = itertools.count(1)
+
+
+class CpuAppThread(Thread):
+    """One worker thread of a CPU application."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        app: "CpuApp",
+        index: int,
+        barrier: Optional[Barrier],
+    ):
+        super().__init__(
+            kernel,
+            name=f"{app.profile.name}/{index}",
+            kind=KIND_USER,
+            priority=PRIO_NORMAL,
+        )
+        self.app = app
+        self.index = index
+        self.barrier = barrier
+        self.duty = app.profile.thread_duty[index]
+        owner_index = next(_owner_counter)
+        uarch = kernel.config.cpu.uarch
+        self.addr_spec = address_spec_for(app.profile, owner_index, uarch.line_size)
+        self.branch_spec = branch_spec_for(app.profile, owner_index)
+        # Analytic pollution-charge parameters (see Core._run_kernel_window):
+        # how much of the shared structures this thread keeps warm, and how
+        # likely an evicted line/entry was going to be reused.
+        profile = app.profile
+        cache_lines = uarch.cache_sets * uarch.cache_ways
+        hot_lines = profile.ws_lines * profile.hot_fraction
+        self.cache_coverage = min(1.0, hot_lines / cache_lines)
+        self.predictor_coverage = min(1.0, profile.branch_sites / uarch.predictor_entries)
+        self.reuse_probability = profile.hot_rate
+
+    def on_segment_start(self, core: "Core") -> None:
+        """Keep this thread's footprint resident on its core (rate-capped)."""
+        core.run_user_window(self.name, self.addr_spec, self.branch_spec)
+
+    def body(self) -> Generator:
+        profile = self.app.profile
+        compute_ns = profile.chunk_ns * self.duty
+        rest_ns = profile.chunk_ns * (1.0 - self.duty) + profile.think_ns
+        while True:
+            yield from self.run_for(compute_ns)
+            if self.barrier is not None:
+                event = self.barrier.arrive()
+                if not event.triggered:
+                    yield from self.wait(event)
+            if rest_ns > 0:
+                yield from self.sleep(rest_ns)
+            elif self.core is not None and self.kernel.scheduler.has_work(self.core):
+                # Cooperative fairness point between chunks.
+                self._release_cpu(requeue=True)
+
+
+class CpuApp:
+    """A multithreaded CPU application instance."""
+
+    def __init__(self, kernel: "Kernel", profile: CpuAppProfile):
+        self.kernel = kernel
+        self.profile = profile
+        self.steady: SteadyState = steady_state_for(profile, kernel.config.cpu)
+        barrier = Barrier(kernel.env, profile.threads) if profile.barriers else None
+        self.barrier = barrier
+        self.threads: List[CpuAppThread] = [
+            CpuAppThread(kernel, self, index, barrier)
+            for index in range(profile.threads)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"app {self.profile.name} already started")
+        self._started = True
+        for thread in self.threads:
+            self.kernel.spawn(thread)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def productive_ns(self) -> float:
+        return sum(thread.productive_ns for thread in self.threads)
+
+    @property
+    def instructions_retired(self) -> float:
+        freq = self.kernel.config.cpu.freq_ghz
+        return self.steady.instructions_for_ns(self.productive_ns, freq)
+
+    @property
+    def baseline_l1_misses(self) -> float:
+        """Misses this app would take at its solo steady-state rate."""
+        accesses = self.instructions_retired * self.profile.apki / 1000.0
+        return accesses * self.steady.miss_rate
+
+    @property
+    def baseline_mispredicts(self) -> float:
+        branches = self.instructions_retired * self.profile.bpki / 1000.0
+        return branches * self.steady.mispredict_rate
+
+    @property
+    def extra_l1_misses(self) -> float:
+        """Misses charged to kernel SSR pollution (Fig. 5a numerator)."""
+        return sum(thread.extra_misses for thread in self.threads)
+
+    @property
+    def extra_mispredicts(self) -> float:
+        return sum(thread.extra_mispredicts for thread in self.threads)
+
+    #: Counter-noise floor: real hardware never reports a 0% miss or
+    #: mispredict rate, so relative-increase ratios use at least this rate
+    #: as the denominator (prevents divide-by-near-zero blowups for tiny
+    #: working sets like blackscholes).
+    RATE_FLOOR = 0.01
+
+    def l1_miss_increase(self) -> float:
+        """Fractional L1D miss increase from SSR pollution (Fig. 5a)."""
+        accesses = self.instructions_retired * self.profile.apki / 1000.0
+        baseline = max(self.baseline_l1_misses, accesses * self.RATE_FLOOR)
+        return self.extra_l1_misses / baseline if baseline else 0.0
+
+    def mispredict_increase(self) -> float:
+        """Fractional branch misprediction increase (Fig. 5b)."""
+        branches = self.instructions_retired * self.profile.bpki / 1000.0
+        baseline = max(self.baseline_mispredicts, branches * self.RATE_FLOOR)
+        return self.extra_mispredicts / baseline if baseline else 0.0
+
+    def measured_uarch_rates(self) -> "tuple[float, float]":
+        """(L1D miss rate, branch mispredict rate) actually observed by this
+        app's sampled windows across all cores — the simulation's analog of
+        reading hardware performance counters (used for Fig. 5)."""
+        hits = misses = 0
+        predictions = mispredictions = 0
+        names = {thread.name for thread in self.threads}
+        for core in self.kernel.cores:
+            cache_stats = core.uarch.l1d.stats
+            branch_stats = core.uarch.predictor.stats
+            for name in names:
+                hits += cache_stats.hits[name]
+                misses += cache_stats.misses[name]
+                predictions += branch_stats.predictions[name]
+                mispredictions += branch_stats.mispredictions[name]
+        miss_rate = misses / (hits + misses) if (hits + misses) else 0.0
+        mispredict_rate = mispredictions / predictions if predictions else 0.0
+        return miss_rate, mispredict_rate

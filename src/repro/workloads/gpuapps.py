@@ -1,0 +1,88 @@
+"""GPU workload profiles: the paper's five applications plus ``ubench``.
+
+SSR-pattern assignments follow Section III/IV:
+
+* ``bfs`` (SHOC) — a low SSR rate with faults clustered near the start of
+  execution (first-touch of the frontier structures), so CPUs are
+  disturbed briefly and can sleep afterwards.
+* ``bpt`` (B+ tree) / ``sssp`` (Pannotia) — fault batches on the GPU
+  kernel's critical path (blocking): CPU-side delays stall the GPU, which
+  is why these suffer most from busy CPUs and from coalescing latency.
+* ``spmv`` (SHOC) / ``xsbench`` — moderate, overlapped fault streams.
+* ``ubench`` — the paper's microbenchmark: streams through memory taking a
+  fault every few microseconds with plenty of independent parallel work
+  (overlapped up to the hardware outstanding-SSR limit).  Its
+  "performance" metric is SSR completion rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import GpuAppProfile
+
+US = 1_000
+MS = 1_000_000
+
+GPU_PROFILES: Dict[str, GpuAppProfile] = {
+    profile.name: profile
+    for profile in (
+        GpuAppProfile(
+            name="bfs",
+            compute_chunk_ns=2 * MS,
+            faults_per_chunk=4.0,
+            blocking=False,
+            burst_faults=300,
+            burst_spacing_ns=8 * US,
+        ),
+        GpuAppProfile(
+            name="bpt",
+            compute_chunk_ns=600 * US,
+            faults_per_chunk=30.0,
+            blocking=True,
+            dependent_faults=12,
+            fault_spacing_ns=6 * US,
+        ),
+        GpuAppProfile(
+            name="spmv",
+            compute_chunk_ns=1200 * US,
+            faults_per_chunk=20.0,
+            blocking=False,
+        ),
+        GpuAppProfile(
+            name="sssp",
+            compute_chunk_ns=400 * US,
+            faults_per_chunk=44.0,
+            blocking=True,
+            dependent_faults=8,
+            fault_spacing_ns=5 * US,
+            active_ns=2400 * US,
+            idle_ns=600 * US,
+        ),
+        GpuAppProfile(
+            name="xsbench",
+            compute_chunk_ns=1 * MS,
+            faults_per_chunk=30.0,
+            blocking=False,
+        ),
+        GpuAppProfile(
+            name="ubench",
+            compute_chunk_ns=12 * US,
+            faults_per_chunk=1.0,
+            blocking=False,
+            fault_spacing_ns=0,
+        ),
+    )
+}
+
+GPU_NAMES: List[str] = ["bfs", "bpt", "spmv", "sssp", "xsbench", "ubench"]
+#: The real applications (everything but the microbenchmark).
+GPU_APP_NAMES: List[str] = ["bfs", "bpt", "spmv", "sssp", "xsbench"]
+
+
+def gpu_app(name: str) -> GpuAppProfile:
+    """Look up a GPU workload profile by name."""
+    try:
+        return GPU_PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU workload {name!r}; known: {GPU_NAMES}") from None

@@ -1,0 +1,211 @@
+"""Statistical profiles of the 13 PARSEC 2.1 benchmarks (4 threads, native).
+
+The trait assignments encode the qualitative characterizations the paper
+relies on (Section IV-A) plus well-known PARSEC behaviour:
+
+* ``raytrace`` — dominantly single-threaded: helper threads are mostly
+  idle, so idle cores absorb SSR work (least affected).
+* ``fluidanimate`` — fine-grained barriers and a hot, L1-resident working
+  set: both balance- and pollution-sensitive (most affected by sssp).
+* ``facesim``/``streamcluster`` — barrier-synchronized with static
+  partitioning; ``streamcluster`` threads never block, so they also delay
+  SSR servicing the most (8% average GPU drop in the paper).
+* ``x264`` — huge, well-trained branch footprint and a busy pipeline:
+  predictor pollution is expensive (44% loss under the microbenchmark).
+* ``canneal`` — a working set far beyond L1: it misses anyway, so extra
+  pollution moves its miss rate relatively little.
+* ``dedup``/``ferret``/``vips`` — pipeline-parallel with queue waits
+  (think time), leaving scheduling gaps that absorb SSR work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import CpuAppProfile
+
+US = 1_000
+MS = 1_000_000
+
+PARSEC_PROFILES: Dict[str, CpuAppProfile] = {
+    profile.name: profile
+    for profile in (
+        CpuAppProfile(
+            name="blackscholes",
+            base_cpi=0.8,
+            apki=180.0,
+            bpki=90.0,
+            ws_lines=96,
+            hot_fraction=0.5,
+            hot_rate=0.9,
+            branch_sites=48,
+            branch_bias=0.97,
+            chunk_ns=2 * MS,
+        ),
+        CpuAppProfile(
+            name="bodytrack",
+            base_cpi=1.0,
+            apki=280.0,
+            bpki=160.0,
+            ws_lines=320,
+            hot_fraction=0.25,
+            hot_rate=0.8,
+            branch_sites=320,
+            branch_bias=0.92,
+            chunk_ns=600 * US,
+            barriers=True,
+            think_ns=40 * US,
+        ),
+        CpuAppProfile(
+            name="canneal",
+            base_cpi=1.1,
+            apki=340.0,
+            bpki=110.0,
+            ws_lines=4096,
+            hot_fraction=0.05,
+            hot_rate=0.35,
+            branch_sites=128,
+            branch_bias=0.9,
+            chunk_ns=3 * MS,
+        ),
+        CpuAppProfile(
+            name="dedup",
+            base_cpi=1.0,
+            apki=300.0,
+            bpki=140.0,
+            ws_lines=512,
+            hot_fraction=0.2,
+            hot_rate=0.7,
+            branch_sites=256,
+            branch_bias=0.92,
+            chunk_ns=900 * US,
+            think_ns=250 * US,
+        ),
+        CpuAppProfile(
+            name="facesim",
+            base_cpi=1.0,
+            apki=330.0,
+            bpki=120.0,
+            ws_lines=420,
+            hot_fraction=0.3,
+            hot_rate=0.85,
+            branch_sites=256,
+            branch_bias=0.94,
+            chunk_ns=450 * US,
+            barriers=True,
+        ),
+        CpuAppProfile(
+            name="ferret",
+            base_cpi=1.0,
+            apki=290.0,
+            bpki=150.0,
+            ws_lines=384,
+            hot_fraction=0.2,
+            hot_rate=0.75,
+            branch_sites=384,
+            branch_bias=0.91,
+            chunk_ns=800 * US,
+            think_ns=220 * US,
+        ),
+        CpuAppProfile(
+            name="fluidanimate",
+            base_cpi=0.9,
+            apki=380.0,
+            bpki=130.0,
+            ws_lines=360,
+            hot_fraction=0.6,
+            hot_rate=0.92,
+            branch_sites=192,
+            branch_bias=0.95,
+            chunk_ns=350 * US,
+            barriers=True,
+        ),
+        CpuAppProfile(
+            name="freqmine",
+            base_cpi=1.0,
+            apki=310.0,
+            bpki=170.0,
+            ws_lines=448,
+            hot_fraction=0.2,
+            hot_rate=0.75,
+            branch_sites=448,
+            branch_bias=0.9,
+            chunk_ns=1500 * US,
+        ),
+        CpuAppProfile(
+            name="raytrace",
+            thread_duty=(1.0, 0.06, 0.06, 0.06),
+            base_cpi=0.9,
+            apki=260.0,
+            bpki=140.0,
+            ws_lines=288,
+            hot_fraction=0.3,
+            hot_rate=0.88,
+            branch_sites=224,
+            branch_bias=0.94,
+            chunk_ns=2 * MS,
+        ),
+        CpuAppProfile(
+            name="streamcluster",
+            base_cpi=1.1,
+            apki=380.0,
+            bpki=100.0,
+            ws_lines=520,
+            hot_fraction=0.25,
+            hot_rate=0.8,
+            branch_sites=96,
+            branch_bias=0.95,
+            chunk_ns=500 * US,
+            barriers=True,
+        ),
+        CpuAppProfile(
+            name="swaptions",
+            base_cpi=0.8,
+            apki=200.0,
+            bpki=120.0,
+            ws_lines=128,
+            hot_fraction=0.4,
+            hot_rate=0.9,
+            branch_sites=96,
+            branch_bias=0.96,
+            chunk_ns=2500 * US,
+        ),
+        CpuAppProfile(
+            name="vips",
+            base_cpi=1.0,
+            apki=290.0,
+            bpki=150.0,
+            ws_lines=400,
+            hot_fraction=0.25,
+            hot_rate=0.8,
+            branch_sites=320,
+            branch_bias=0.92,
+            chunk_ns=1 * MS,
+            think_ns=120 * US,
+        ),
+        CpuAppProfile(
+            name="x264",
+            base_cpi=0.9,
+            apki=360.0,
+            bpki=260.0,
+            ws_lines=440,
+            hot_fraction=0.55,
+            hot_rate=0.9,
+            branch_sites=960,
+            branch_bias=0.95,
+            chunk_ns=700 * US,
+            barriers=True,
+            think_ns=60 * US,
+        ),
+    )
+}
+
+PARSEC_NAMES: List[str] = sorted(PARSEC_PROFILES)
+
+
+def parsec(name: str) -> CpuAppProfile:
+    """Look up a PARSEC profile by name."""
+    try:
+        return PARSEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown PARSEC benchmark {name!r}; known: {PARSEC_NAMES}") from None

@@ -1,0 +1,73 @@
+"""Unit tests for the power/energy model."""
+
+import pytest
+
+from repro.config import PowerConfig, SystemConfig
+from repro.core import run_workloads
+from repro.core.metrics import SystemMetrics
+
+HORIZON = 8_000_000
+
+
+def _metrics(mode_totals):
+    return SystemMetrics(
+        horizon_ns=1_000_000,
+        config_label="Default",
+        cpu_app=None,
+        gpu=None,
+        cc6_residency=0.0,
+        mode_totals_ns=mode_totals,
+        interrupts_per_core=[0, 0, 0, 0],
+        ipis=0,
+        ssr_interrupts=0,
+        ssr_requests=0,
+        ssr_time_ns=0.0,
+        ssr_completed=0,
+        context_switches=0,
+        core_wakeups=0,
+    )
+
+
+class TestEnergyArithmetic:
+    def test_all_active(self):
+        metrics = _metrics({"user": 4_000_000})  # 4 core-ms active
+        power = PowerConfig(active_w=10.0, idle_w=1.0, cc6_w=0.1)
+        # 4e6 ns * 10 W = 0.04 J = 40 mJ... (4e-3 s * 10 W = 0.04 J)
+        assert metrics.cpu_energy_mj(power) == pytest.approx(40.0)
+
+    def test_all_cc6(self):
+        metrics = _metrics({"cc6": 4_000_000})
+        power = PowerConfig(active_w=10.0, idle_w=1.0, cc6_w=0.1)
+        assert metrics.cpu_energy_mj(power) == pytest.approx(0.4)
+
+    def test_average_power(self):
+        metrics = _metrics({"user": 4_000_000})
+        power = PowerConfig(active_w=10.0, idle_w=1.0, cc6_w=0.1)
+        # 0.04 J over 1 ms wall = 40 W (4 cores at 10 W).
+        assert metrics.average_cpu_power_w(power) == pytest.approx(40.0)
+
+    def test_mixed_modes(self):
+        metrics = _metrics({"user": 1_000_000, "idle": 1_000_000, "cc6": 2_000_000})
+        power = PowerConfig(active_w=8.0, idle_w=2.0, cc6_w=0.0)
+        assert metrics.cpu_energy_mj(power) == pytest.approx(8.0 + 2.0)
+
+
+class TestEnergyEndToEnd:
+    def test_ssrs_raise_energy(self):
+        config = SystemConfig()
+        quiet = run_workloads(None, "ubench", False, config, HORIZON)
+        noisy = run_workloads(None, "ubench", True, config, HORIZON)
+        assert noisy.cpu_energy_mj(config.power) > 1.5 * quiet.cpu_energy_mj(config.power)
+
+    def test_clustered_app_cheaper_than_storm(self):
+        config = SystemConfig()
+        bfs = run_workloads(None, "bfs", True, config, HORIZON)
+        storm = run_workloads(None, "ubench", True, config, HORIZON)
+        assert bfs.cpu_energy_mj(config.power) < storm.cpu_energy_mj(config.power)
+
+    def test_energy_experiment_registered(self):
+        from repro.experiments import REGISTRY, run_experiment
+
+        assert "energy" in REGISTRY
+        result = run_experiment("energy", gpu_names=["bfs"], horizon_ns=HORIZON)
+        assert result.cell("bfs", "overhead_pct") > 0

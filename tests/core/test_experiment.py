@@ -1,0 +1,64 @@
+"""Unit tests for the experiment runner and caching."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import experiment
+from repro.core.experiment import (
+    clear_cache,
+    cpu_relative_performance,
+    gpu_relative_performance,
+    run_workloads,
+)
+
+HORIZON = 4_000_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunWorkloads:
+    def test_cache_hit_returns_same_object(self):
+        first = run_workloads("swaptions", "xsbench", True, horizon_ns=HORIZON)
+        second = run_workloads("swaptions", "xsbench", True, horizon_ns=HORIZON)
+        assert first is second
+
+    def test_distinct_configs_not_conflated(self):
+        default = run_workloads(None, "xsbench", True, horizon_ns=HORIZON)
+        steered = run_workloads(
+            None,
+            "xsbench",
+            True,
+            SystemConfig().with_mitigation(steer_to_single_core=True),
+            horizon_ns=HORIZON,
+        )
+        assert default is not steered
+
+    def test_gpu_only_run(self):
+        metrics = run_workloads(None, "ubench", True, horizon_ns=HORIZON)
+        assert metrics.cpu_app is None
+        assert metrics.gpu.faults_completed > 0
+
+    def test_cpu_only_run(self):
+        metrics = run_workloads("vips", None, True, horizon_ns=HORIZON)
+        assert metrics.gpu is None
+        assert metrics.cpu_app.instructions > 0
+
+
+class TestNormalizedQuantities:
+    def test_cpu_relative_performance_below_one_under_storm(self):
+        value = cpu_relative_performance("x264", "ubench", horizon_ns=HORIZON)
+        assert 0.2 < value < 0.95
+
+    def test_cpu_relative_performance_without_ssrs_is_unity(self):
+        # Normalizing a run against itself must give exactly 1.
+        base = run_workloads("x264", "ubench", False, horizon_ns=HORIZON)
+        assert base.cpu_app.instructions / base.cpu_app.instructions == 1.0
+
+    def test_gpu_relative_performance_bounded(self):
+        value = gpu_relative_performance("sssp", "streamcluster", horizon_ns=HORIZON)
+        assert 0.3 < value <= 1.3

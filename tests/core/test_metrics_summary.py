@@ -1,0 +1,32 @@
+"""Tests for the human-readable metrics summary."""
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.workloads import gpu_app, parsec
+
+
+class TestSummary:
+    def test_summary_covers_all_sections(self):
+        config = SystemConfig().with_qos(enabled=True, ssr_time_threshold=0.01)
+        system = System(config)
+        system.add_cpu_app(parsec("swaptions"))
+        system.add_gpu_workload(gpu_app("ubench"))
+        metrics = system.run(6_000_000)
+        text = metrics.summary()
+        assert "swaptions" in text
+        assert "ubench" in text
+        assert "cc6" in text
+        assert "qos:" in text
+        assert "QoS(th_1)" in text
+
+    def test_summary_without_workloads(self):
+        metrics = System(SystemConfig()).run(1_000_000)
+        text = metrics.summary()
+        assert "Default" in text
+        assert "gpu" not in text.splitlines()[1] if len(text.splitlines()) > 1 else True
+
+    def test_summary_no_qos_line_when_untriggered(self):
+        system = System(SystemConfig())
+        system.add_gpu_workload(gpu_app("bfs"))
+        metrics = system.run(3_000_000)
+        assert "qos:" not in metrics.summary()

@@ -1,0 +1,56 @@
+"""Unit tests for Pareto-frontier analysis."""
+
+from repro.core import ParetoPoint, dominates, frontier_labels, pareto_frontier
+
+
+def p(label, cpu, gpu):
+    return ParetoPoint(label=label, cpu_performance=cpu, gpu_performance=gpu)
+
+
+class TestDominates:
+    def test_strictly_better_dominates(self):
+        assert dominates(p("a", 2, 2), p("b", 1, 1))
+
+    def test_better_on_one_axis_dominates(self):
+        assert dominates(p("a", 2, 1), p("b", 1, 1))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(p("a", 1, 1), p("b", 1, 1))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates(p("a", 2, 1), p("b", 1, 2))
+        assert not dominates(p("b", 1, 2), p("a", 2, 1))
+
+
+class TestFrontier:
+    def test_dominated_point_excluded(self):
+        points = [p("good", 2, 2), p("bad", 1, 1)]
+        assert frontier_labels(points) == ["good"]
+
+    def test_tradeoff_curve_fully_kept(self):
+        points = [p("cpu-best", 3, 1), p("mid", 2, 2), p("gpu-best", 1, 3)]
+        assert frontier_labels(points) == ["gpu-best", "mid", "cpu-best"]
+
+    def test_frontier_sorted_by_cpu_performance(self):
+        points = [p("a", 3, 1), p("b", 1, 3), p("c", 2, 2)]
+        frontier = pareto_frontier(points)
+        values = [point.cpu_performance for point in frontier]
+        assert values == sorted(values)
+
+    def test_paper_shape_default_not_optimal(self):
+        """The key Figure 7/8 observation: a point can be dominated even if
+        it is nobody's favourite axis."""
+        default = p("Default", 1.0, 1.0)
+        steer_coalesce = p("Steer+Coalesce", 1.10, 1.45)
+        mono = p("Monolithic", 0.95, 2.0)
+        frontier = frontier_labels([default, steer_coalesce, mono])
+        assert "Default" not in frontier
+        assert "Steer+Coalesce" in frontier
+        assert "Monolithic" in frontier
+
+    def test_single_point_is_frontier(self):
+        assert frontier_labels([p("only", 1, 1)]) == ["only"]
+
+    def test_duplicates_survive(self):
+        points = [p("a", 2, 2), p("b", 2, 2)]
+        assert set(frontier_labels(points)) == {"a", "b"}

@@ -1,0 +1,72 @@
+"""Unit tests for System assembly and metric extraction."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.workloads import gpu_app, parsec
+
+
+class TestAssembly:
+    def test_runs_empty_system(self):
+        metrics = System(SystemConfig()).run(2_000_000)
+        assert metrics.cpu_app is None
+        assert metrics.gpu is None
+        assert metrics.cc6_residency > 0.3
+
+    def test_single_run_enforced(self):
+        system = System(SystemConfig())
+        system.run(100_000)
+        with pytest.raises(RuntimeError):
+            system.run(100_000)
+
+    def test_qos_governor_created_when_enabled(self):
+        config = SystemConfig().with_qos(enabled=True, ssr_time_threshold=0.05)
+        system = System(config)
+        assert system.kernel.qos_governor is not None
+
+    def test_no_governor_by_default(self):
+        assert System(SystemConfig()).kernel.qos_governor is None
+
+    def test_multiple_gpus_allowed(self):
+        from dataclasses import replace
+
+        system = System(SystemConfig())
+        profile = gpu_app("xsbench")
+        system.add_gpu_workload(replace(profile, name="xs0"))
+        system.add_gpu_workload(replace(profile, name="xs1"))
+        metrics = system.run(3_000_000)
+        assert len(system.gpus) == 2
+        assert metrics.ssr_requests > 0
+
+
+class TestMetricsExtraction:
+    def test_pair_metrics_populated(self):
+        system = System(SystemConfig())
+        system.add_cpu_app(parsec("swaptions"))
+        system.add_gpu_workload(gpu_app("xsbench"))
+        metrics = system.run(5_000_000)
+        assert metrics.cpu_app.name == "swaptions"
+        assert metrics.cpu_app.instructions > 0
+        assert metrics.gpu.name == "xsbench"
+        assert metrics.gpu.progress_ns > 0
+        assert metrics.ssr_completed > 0
+        assert metrics.config_label == "Default"
+
+    def test_mode_totals_conserve_time(self):
+        system = System(SystemConfig())
+        system.add_cpu_app(parsec("vips"))
+        system.add_gpu_workload(gpu_app("sssp"))
+        horizon = 5_000_000
+        metrics = system.run(horizon)
+        total = sum(metrics.mode_totals_ns.values())
+        assert total == pytest.approx(horizon * 4, rel=1e-9)
+
+    def test_config_label_reflects_mitigations(self):
+        config = SystemConfig().with_mitigation(
+            steer_to_single_core=True, coalesce_window_ns=13_000
+        )
+        system = System(config)
+        metrics = system.run(100_000)
+        assert "Intr_to_single_core" in metrics.config_label
+        assert "Intr_coalescing" in metrics.config_label

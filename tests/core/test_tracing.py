@@ -1,0 +1,85 @@
+"""Unit tests for SSR chain tracing and latency breakdowns."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (
+    STAGE_SEQUENCE,
+    System,
+    format_breakdown,
+    latency_breakdown,
+    total_mean_latency_ns,
+)
+from repro.iommu.request import SSR_CATALOG, SsrRequest
+from repro.workloads import gpu_app
+
+
+@pytest.fixture(scope="module")
+def traced_system():
+    system = System(SystemConfig())
+    system.add_gpu_workload(gpu_app("xsbench"))
+    system.run(8_000_000)
+    return system
+
+
+class TestStageStamps:
+    def test_completed_requests_recorded(self, traced_system):
+        assert len(traced_system.iommu.recent_completed) > 0
+
+    def test_all_stages_stamped(self, traced_system):
+        request = traced_system.iommu.recent_completed[-1]
+        for stage in ("submitted", "accepted", "drained", "queued",
+                      "service_start", "completed"):
+            assert stage in request.stages, stage
+
+    def test_stages_monotone(self, traced_system):
+        order = ["submitted", "accepted", "drained", "queued",
+                 "service_start", "completed"]
+        for request in traced_system.iommu.recent_completed:
+            times = [request.stages[s] for s in order if s in request.stages]
+            assert times == sorted(times)
+
+    def test_stage_delta_matches_latency(self, traced_system):
+        request = traced_system.iommu.recent_completed[-1]
+        assert request.stage_delta("submitted", "completed") == pytest.approx(
+            request.latency_ns, abs=1
+        )
+
+
+class TestBreakdown:
+    def test_breakdown_covers_all_stages(self, traced_system):
+        breakdown = latency_breakdown(traced_system.iommu.recent_completed)
+        assert len(breakdown) == len(STAGE_SEQUENCE)
+        assert all(stage.samples > 0 for stage in breakdown)
+
+    def test_stage_means_sum_to_total(self, traced_system):
+        requests = list(traced_system.iommu.recent_completed)
+        breakdown = latency_breakdown(requests)
+        total = total_mean_latency_ns(requests)
+        assert sum(stage.mean_ns for stage in breakdown) == pytest.approx(
+            total, rel=0.02
+        )
+
+    def test_service_stage_at_least_service_cost(self, traced_system):
+        breakdown = {s.name: s for s in latency_breakdown(
+            traced_system.iommu.recent_completed
+        )}
+        config = SystemConfig().os_path
+        assert breakdown["service"].mean_ns >= config.page_fault_service_ns
+
+    def test_empty_population(self):
+        breakdown = latency_breakdown([])
+        assert all(stage.samples == 0 for stage in breakdown)
+        assert total_mean_latency_ns([]) == 0.0
+
+    def test_format_breakdown_renders(self, traced_system):
+        text = format_breakdown(latency_breakdown(traced_system.iommu.recent_completed))
+        assert "worker_scheduling" in text and "service" in text
+
+    def test_missing_stage_skipped(self):
+        request = SsrRequest(
+            request_id=1, kind=SSR_CATALOG["signal"], issued_at=0
+        )
+        request.stages = {"submitted": 0, "completed": 100}
+        breakdown = {s.name: s for s in latency_breakdown([request])}
+        assert breakdown["ppr_queue_wait"].samples == 0

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment registry and result rendering."""
+
+import pytest
+
+import repro.experiments  # noqa: F401 - populates the registry
+from repro.experiments import REGISTRY, ExperimentResult, run_experiment
+from repro.experiments.run_all import DEFAULT_ORDER, EXTENSION_ORDER, main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1",
+            "fig3a",
+            "fig3b",
+            "fig4",
+            "fig5",
+            "ipi",
+            "fig6a",
+            "fig6b",
+            "fig6c",
+            "fig6d",
+            "fig6e",
+            "fig6f",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig12a",
+            "fig12b",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_order_lists_cover_registry(self):
+        assert set(DEFAULT_ORDER) | set(EXTENSION_ORDER) == set(REGISTRY)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="Demo", columns=["app", "x", "y"]
+        )
+        result.add_row("alpha", 1.0, 2.0)
+        result.add_row("beta", 3.0, 4.0)
+        return result
+
+    def test_column_access(self):
+        assert self._result().column("x") == [1.0, 3.0]
+
+    def test_cell_access(self):
+        assert self._result().cell("beta", "y") == 4.0
+
+    def test_cell_unknown_row(self):
+        with pytest.raises(KeyError):
+            self._result().cell("gamma", "x")
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "demo" in text and "alpha" in text and "4.000" in text
+
+    def test_as_dict_round_trip(self):
+        data = self._result().as_dict()
+        assert data["columns"] == ["app", "x", "y"]
+        assert data["rows"][1] == ["beta", 3.0, 4.0]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "table1" in out
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "page_fault" in out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figZZ"])
+
+    def test_requires_targets(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,129 @@
+"""Unit tests for the GPU device model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.workloads import GpuAppProfile, gpu_app
+
+
+def build_system(profile, ssr=True, config=None):
+    system = System(config or SystemConfig())
+    gpu = system.add_gpu_workload(profile, ssr_enabled=ssr)
+    return system, gpu
+
+
+SIMPLE = GpuAppProfile(
+    name="simple",
+    compute_chunk_ns=200_000,
+    faults_per_chunk=4.0,
+    blocking=False,
+    fault_spacing_ns=2_000,
+)
+
+
+class TestExecution:
+    def test_progress_accumulates(self):
+        system, gpu = build_system(SIMPLE, ssr=False)
+        system.run(5_000_000)
+        assert gpu.progress_ns == pytest.approx(5_000_000, rel=0.05)
+
+    def test_ssr_disabled_issues_no_faults(self):
+        system, gpu = build_system(SIMPLE, ssr=False)
+        system.run(5_000_000)
+        assert gpu.faults_issued == 0
+
+    def test_faults_issued_and_completed(self):
+        system, gpu = build_system(SIMPLE)
+        system.run(5_000_000)
+        assert gpu.faults_issued > 0
+        assert gpu.faults_completed >= gpu.faults_issued - 64
+
+    def test_blocking_profile_stalls_on_completions(self):
+        blocking = GpuAppProfile(
+            name="blocky",
+            compute_chunk_ns=200_000,
+            faults_per_chunk=8.0,
+            blocking=True,
+            fault_spacing_ns=2_000,
+        )
+        system, gpu = build_system(blocking)
+        system.run(5_000_000)
+        assert gpu.stall_ns > 0
+        assert gpu.progress_ns < 5_000_000
+
+    def test_double_start_rejected(self):
+        system, gpu = build_system(SIMPLE)
+        system.run(100_000)
+        with pytest.raises(RuntimeError):
+            gpu.start()
+
+
+class TestBackpressure:
+    def test_outstanding_limit_never_exceeded(self):
+        storm = GpuAppProfile(
+            name="storm",
+            compute_chunk_ns=1_000,
+            faults_per_chunk=1.0,
+            blocking=False,
+            fault_spacing_ns=0,
+        )
+        config = SystemConfig()
+        system, gpu = build_system(storm, config=config)
+        limit = config.gpu.max_outstanding_ssrs
+
+        max_outstanding = 0
+
+        def watch():
+            nonlocal max_outstanding
+            while True:
+                yield system.env.timeout(10_000)
+                outstanding = gpu.faults_issued - gpu.faults_completed
+                max_outstanding = max(max_outstanding, outstanding)
+
+        system.env.process(watch())
+        system.run(3_000_000)
+        assert max_outstanding <= limit
+
+    def test_burst_profile_issues_burst_first(self):
+        burst = GpuAppProfile(
+            name="bursty",
+            compute_chunk_ns=1_000_000,
+            faults_per_chunk=0.0,
+            blocking=False,
+            burst_faults=50,
+            burst_spacing_ns=5_000,
+        )
+        system, gpu = build_system(burst)
+        system.run(2_000_000)
+        assert gpu.faults_issued == 50
+
+
+class TestDependentFaults:
+    def test_dependent_faults_serialize(self):
+        loose = GpuAppProfile(
+            name="loose", compute_chunk_ns=100_000, faults_per_chunk=8.0,
+            blocking=True, dependent_faults=0, fault_spacing_ns=1_000,
+        )
+        tight = GpuAppProfile(
+            name="tight", compute_chunk_ns=100_000, faults_per_chunk=8.0,
+            blocking=True, dependent_faults=8, fault_spacing_ns=1_000,
+        )
+        system_loose, loose_gpu = build_system(loose)
+        system_loose.run(5_000_000)
+        system_tight, tight_gpu = build_system(tight)
+        system_tight.run(5_000_000)
+        assert tight_gpu.progress_ns < loose_gpu.progress_ns
+
+
+class TestHostRuntime:
+    def test_host_thread_consumes_cpu(self):
+        system, gpu = build_system(SIMPLE, ssr=False)
+        system.run(5_000_000)
+        assert gpu.host_thread.productive_ns > 0
+
+    def test_catalog_profiles_run(self):
+        for name in ("bfs", "bpt", "spmv", "sssp", "xsbench", "ubench"):
+            system, gpu = build_system(gpu_app(name))
+            system.run(2_000_000)
+            assert gpu.faults_issued > 0, name

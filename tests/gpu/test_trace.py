@@ -1,0 +1,81 @@
+"""Unit tests for trace-driven GPU workloads."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.gpu import TraceDrivenGpu, TraceEvent, format_trace, parse_trace
+
+
+def build(trace):
+    system = System(SystemConfig())
+    replay = TraceDrivenGpu(system.kernel, system.iommu, trace)
+    system.kernel.boot()
+    system.driver.start()
+    replay.start()
+    return system, replay
+
+
+class TestTraceEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(time_ns=-1)
+        with pytest.raises(ValueError):
+            TraceEvent(time_ns=0, count=0)
+        with pytest.raises(ValueError):
+            TraceEvent(time_ns=0, kind="teleport")
+
+
+class TestParsing:
+    def test_round_trip(self):
+        events = [TraceEvent(100, 2), TraceEvent(500, 1, "signal")]
+        assert parse_trace(format_trace(events)) == events
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\n100 1\n 200 3 page_fault  # inline\n"
+        events = parse_trace(text)
+        assert events == [TraceEvent(100, 1), TraceEvent(200, 3)]
+
+    def test_sorting(self):
+        events = parse_trace("500 1\n100 1")
+        assert [e.time_ns for e in events] == [100, 500]
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_trace("100")
+
+
+class TestReplay:
+    def test_all_events_issued_and_completed(self):
+        trace = [TraceEvent(i * 50_000, 2) for i in range(10)]
+        system, replay = build(trace)
+        system.env.run(until=5_000_000)
+        assert replay.faults_issued == 20
+        assert replay.faults_completed == 20
+
+    def test_issue_times_honoured_when_unpressured(self):
+        trace = [TraceEvent(1_000_000, 1)]
+        system, replay = build(trace)
+        system.env.run(until=3_000_000)
+        request = system.iommu.recent_completed[0]
+        assert request.issued_at >= 1_000_000
+
+    def test_backpressure_creates_slip(self):
+        # A burst far beyond the outstanding window must slip.
+        trace = [TraceEvent(1_000, 1) for _ in range(200)]
+        system, replay = build(trace)
+        system.env.run(until=20_000_000)
+        assert replay.slip_ns > 0
+        assert replay.faults_completed == 200
+
+    def test_double_start_rejected(self):
+        system, replay = build([TraceEvent(0, 1)])
+        with pytest.raises(RuntimeError):
+            replay.start()
+
+    def test_mixed_kinds(self):
+        trace = [TraceEvent(10_000, 1, "page_fault"), TraceEvent(20_000, 1, "filesystem")]
+        system, replay = build(trace)
+        system.env.run(until=5_000_000)
+        kinds = {r.kind.name for r in system.iommu.recent_completed}
+        assert kinds == {"page_fault", "filesystem"}

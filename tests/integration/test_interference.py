@@ -1,0 +1,122 @@
+"""End-to-end interference invariants (the paper's core claims).
+
+These tests run real co-executions at a reduced horizon and assert the
+*directions* and rough magnitudes the paper establishes — they are the
+repository's regression net for the headline phenomena.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import run_workloads
+from repro.core.experiment import clear_cache
+
+HORIZON = 10_000_000  # 10 ms keeps the integration suite quick
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def pair(cpu, gpu, ssr=True, config=None):
+    return run_workloads(cpu, gpu, ssr, config or SystemConfig(), HORIZON)
+
+
+class TestHiss:
+    """Host interference from GPU system services (Section IV-A)."""
+
+    def test_ssrs_degrade_cpu_performance(self):
+        with_ssr = pair("x264", "ubench", True)
+        without = pair("x264", "ubench", False)
+        ratio = with_ssr.cpu_app.instructions / without.cpu_app.instructions
+        assert ratio < 0.85  # the paper reports up to 44% loss
+
+    def test_moderate_app_hurts_less_than_storm(self):
+        base_x = pair("fluidanimate", "xsbench", False)
+        with_x = pair("fluidanimate", "xsbench", True)
+        base_u = pair("fluidanimate", "ubench", False)
+        with_u = pair("fluidanimate", "ubench", True)
+        moderate = with_x.cpu_app.instructions / base_x.cpu_app.instructions
+        storm = with_u.cpu_app.instructions / base_u.cpu_app.instructions
+        assert storm < moderate < 1.02
+
+    def test_raytrace_least_affected_by_storm(self):
+        """Idle cores absorb SSR work for the mostly-serial app."""
+        ratios = {}
+        for name in ("raytrace", "x264", "streamcluster"):
+            base = pair(name, "ubench", False)
+            ssr = pair(name, "ubench", True)
+            ratios[name] = ssr.cpu_app.instructions / base.cpu_app.instructions
+        assert ratios["raytrace"] > ratios["x264"]
+        assert ratios["raytrace"] > ratios["streamcluster"]
+
+    def test_busy_cpus_slow_blocking_gpu_app(self):
+        idle = pair(None, "sssp", True)
+        busy = pair("streamcluster", "sssp", True)
+        ratio = busy.gpu.progress_ns / idle.gpu.progress_ns
+        assert 0.6 < ratio < 0.98  # the paper reports up to 18% loss
+
+    def test_overlapped_gpu_app_tolerates_busy_cpus(self):
+        idle = pair(None, "ubench", True)
+        busy = pair("streamcluster", "ubench", True)
+        ratio = busy.gpu.faults_completed / idle.gpu.faults_completed
+        assert ratio > 0.9
+
+
+class TestEnergy:
+    """CC6 sleep destruction (Section IV-B)."""
+
+    def test_no_ssr_baseline_high(self):
+        metrics = pair(None, "ubench", False)
+        assert metrics.cc6_residency > 0.75  # paper: 86%
+
+    def test_storm_destroys_sleep(self):
+        metrics = pair(None, "ubench", True)
+        assert metrics.cc6_residency < 0.15  # paper: 12%
+
+    def test_clustered_faults_preserve_more_sleep(self):
+        # bfs's startup burst spans several milliseconds, so this
+        # comparison needs a horizon long enough for its quiet phase.
+        long_horizon = 20_000_000
+        bfs = run_workloads(None, "bfs", True, SystemConfig(), long_horizon)
+        sssp = run_workloads(None, "sssp", True, SystemConfig(), long_horizon)
+        assert bfs.cc6_residency > sssp.cc6_residency
+
+
+class TestMicroarchitecture:
+    """Cache/branch pollution (Section IV-C / Fig. 5)."""
+
+    def test_storm_pollutes_l1(self):
+        metrics = pair("x264", "ubench", True)
+        assert metrics.cpu_app.l1_miss_increase > 0.02
+        assert metrics.cpu_app.pollution_stall_ns > 0
+
+    def test_storm_pollutes_predictor(self):
+        metrics = pair("x264", "ubench", True)
+        assert metrics.cpu_app.mispredict_increase > 0.005
+
+    def test_small_footprint_app_polluted_less(self):
+        big = pair("x264", "ubench", True).cpu_app
+        small = pair("blackscholes", "ubench", True).cpu_app
+        assert small.pollution_stall_ns < big.pollution_stall_ns
+
+
+class TestInterruptBehaviour:
+    """Interrupt distribution and IPIs (Section IV-C)."""
+
+    def test_interrupts_evenly_distributed_under_load(self):
+        metrics = pair("x264", "ubench", True)
+        assert metrics.interrupt_balance() < 1.3
+
+    def test_ipis_explode_with_ssrs(self):
+        base = pair(None, "ubench", False)
+        storm = pair(None, "ubench", True)
+        assert storm.ipis > 20 * max(1, base.ipis)
+
+    def test_ssr_requests_match_interrupt_batches(self):
+        metrics = pair(None, "xsbench", True)
+        assert metrics.ssr_interrupts <= metrics.ssr_requests
+        assert metrics.ssr_completed <= metrics.ssr_requests

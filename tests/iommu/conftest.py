@@ -1,0 +1,33 @@
+"""Shared fixtures for IOMMU tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.iommu import Iommu, IommuDriver, SSR_CATALOG, SsrRequest
+from repro.oskernel import Kernel
+from repro.sim import Environment, RngRegistry
+
+
+def build_stack(config=None):
+    """A booted kernel + IOMMU + started driver."""
+    config = config or SystemConfig()
+    kernel = Kernel(Environment(), config, RngRegistry(1))
+    iommu = Iommu(kernel)
+    driver = IommuDriver(kernel, iommu)
+    kernel.boot()
+    driver.start()
+    return kernel, iommu, driver
+
+
+@pytest.fixture
+def stack():
+    return build_stack()
+
+
+def make_request(kernel, iommu, kind="page_fault"):
+    return SsrRequest(
+        request_id=iommu.allocate_request_id(),
+        kind=SSR_CATALOG[kind],
+        issued_at=kernel.env.now,
+        completion=kernel.env.event(),
+    )

@@ -1,0 +1,101 @@
+"""Unit tests for the IOMMU host driver (split vs monolithic)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.oskernel import accounting as acct
+
+from .conftest import build_stack, make_request
+
+
+class TestSplitDriver:
+    def test_bottom_half_thread_started(self, stack):
+        _kernel, _iommu, driver = stack
+        assert driver.bottom_half.started
+
+    def test_batches_handled(self, stack):
+        kernel, iommu, driver = stack
+        for _ in range(3):
+            iommu.submit(make_request(kernel, iommu))
+        kernel.env.run(until=2_000_000)
+        assert driver.bottom_half.batches_handled >= 1
+
+    def test_double_start_rejected(self, stack):
+        _kernel, _iommu, driver = stack
+        with pytest.raises(RuntimeError):
+            driver.start()
+
+    def test_chain_stages_all_charge_ssr_time(self, stack):
+        kernel, iommu, _driver = stack
+        iommu.submit(make_request(kernel, iommu))
+        kernel.env.run(until=2_000_000)
+        os_path = kernel.config.os_path
+        minimum = (
+            os_path.top_half_ns
+            + os_path.bottom_half_per_request_ns
+            + os_path.queue_work_ns
+            + os_path.page_fault_service_ns
+        )
+        assert kernel.ssr_accounting.total_ns >= minimum
+
+
+class TestMonolithicDriver:
+    def test_no_kthread_started(self):
+        config = SystemConfig().with_mitigation(monolithic_bottom_half=True)
+        _kernel, _iommu, driver = build_stack(config)
+        assert driver.monolithic
+        assert not driver.bottom_half.started
+
+    def test_requests_still_complete(self):
+        config = SystemConfig().with_mitigation(monolithic_bottom_half=True)
+        kernel, iommu, _driver = build_stack(config)
+        request = make_request(kernel, iommu)
+        iommu.submit(request)
+        kernel.env.run(until=2_000_000)
+        assert request.completion.triggered
+
+    def test_latency_lower_than_split_on_idle_cpus(self):
+        split_kernel, split_iommu, _ = build_stack()
+        split_iommu.submit(make_request(split_kernel, split_iommu))
+        split_kernel.env.run(until=2_000_000)
+
+        config = SystemConfig().with_mitigation(monolithic_bottom_half=True)
+        mono_kernel, mono_iommu, _ = build_stack(config)
+        mono_iommu.submit(make_request(mono_kernel, mono_iommu))
+        mono_kernel.env.run(until=2_000_000)
+
+        assert mono_iommu.latency.mean_ns < split_iommu.latency.mean_ns
+
+    def test_no_ipis_from_monolithic_path(self):
+        config = SystemConfig().with_mitigation(monolithic_bottom_half=True)
+        kernel, iommu, _driver = build_stack(config)
+        for _ in range(10):
+            iommu.submit(make_request(kernel, iommu))
+        kernel.env.run(until=3_000_000)
+        split_kernel, split_iommu, _ = build_stack()
+        for _ in range(10):
+            split_iommu.submit(make_request(split_kernel, split_iommu))
+        split_kernel.env.run(until=3_000_000)
+        assert kernel.ipis_total() <= split_kernel.ipis_total()
+
+
+class TestSteeredDriver:
+    def test_bottom_half_pinned_to_steering_target(self):
+        config = SystemConfig().with_mitigation(
+            steer_to_single_core=True, steering_target=2
+        )
+        _kernel, _iommu, driver = build_stack(config)
+        assert driver.bottom_half.pinned_core == 2
+
+    def test_all_ssr_interrupts_on_target_core(self):
+        config = SystemConfig().with_mitigation(
+            steer_to_single_core=True, steering_target=1
+        )
+        kernel, iommu, _driver = build_stack(config)
+        for _ in range(8):
+            iommu.submit(make_request(kernel, iommu))
+        kernel.env.run(until=3_000_000)
+        irqs = kernel.interrupts_per_core()
+        # SSR MSIs only hit core 1 (other cores may see ticks/IPIs).
+        assert kernel.counters.get("ssr_interrupt") == 8
+        assert irqs[1] >= 8

@@ -1,0 +1,73 @@
+"""Tests for the NAPI-style polled SSR servicing extension."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System, run_workloads
+from repro.core.experiment import clear_cache
+from repro.workloads import gpu_app, parsec
+
+HORIZON = 10_000_000
+
+
+def polling_config(period_us=20):
+    return SystemConfig().with_mitigation(polling_period_ns=period_us * 1_000)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestPolledServicing:
+    def test_requests_complete_without_interrupts(self):
+        metrics = run_workloads(None, "xsbench", True, polling_config(), HORIZON)
+        assert metrics.ssr_completed > 0
+        assert metrics.ssr_interrupts == 0  # MSIs fully masked
+
+    def test_label(self):
+        assert polling_config().label == "Polling"
+
+    def test_latency_bounded_by_poll_period(self):
+        period_us = 50
+        metrics = run_workloads(
+            None, "xsbench", True, polling_config(period_us), HORIZON
+        )
+        # Every fault waits at most one period before the drain begins.
+        assert metrics.gpu.mean_ssr_latency_ns < 4 * period_us * 1_000
+
+    def test_contains_the_interrupt_storm(self):
+        """Polling's upside: the ubench storm stops interrupting CPUs."""
+        interrupted = run_workloads("x264", "ubench", True, SystemConfig(), HORIZON)
+        polled = run_workloads("x264", "ubench", True, polling_config(), HORIZON)
+        assert polled.ssr_interrupts == 0
+        assert polled.ipis < interrupted.ipis
+
+    def test_burns_cpu_when_accelerator_is_quiet(self):
+        """Polling's downside (the paper's Related-Work point): the poll
+        cost accrues even with zero SSR traffic."""
+        quiet_polled = run_workloads(None, "xsbench", False, polling_config(5), HORIZON)
+        quiet_default = run_workloads(None, "xsbench", False, SystemConfig(), HORIZON)
+        assert quiet_polled.ssr_time_ns > 10 * max(1.0, quiet_default.ssr_time_ns)
+        # ...and it costs sleep residency too.
+        assert quiet_polled.cc6_residency < quiet_default.cc6_residency
+
+    def test_poller_statistics(self):
+        system = System(polling_config(10))
+        system.add_gpu_workload(gpu_app("xsbench"))
+        system.run(HORIZON)
+        poller = system.driver.poller
+        assert poller.polls > 50
+        assert poller.empty_polls > 0
+        assert poller.requests_serviced > 0
+
+    def test_composes_with_steering_target(self):
+        config = polling_config().with_mitigation(
+            steer_to_single_core=True, steering_target=3
+        )
+        system = System(config)
+        system.add_gpu_workload(gpu_app("xsbench"))
+        system.run(HORIZON)
+        assert system.driver.poller.pinned_core == 3

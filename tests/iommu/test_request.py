@@ -1,0 +1,49 @@
+"""Unit tests for SSR request objects and the Table I catalog."""
+
+import pytest
+
+from repro.iommu import HIGH, LOW, LatencyStats, MODERATE_TO_HIGH, SSR_CATALOG, SsrRequest
+
+
+class TestCatalog:
+    def test_all_paper_kinds_present(self):
+        assert set(SSR_CATALOG) == {
+            "signal",
+            "page_fault",
+            "memory_allocation",
+            "filesystem",
+            "page_migration",
+        }
+
+    def test_complexity_labels_match_paper(self):
+        assert SSR_CATALOG["signal"].complexity == LOW
+        assert SSR_CATALOG["page_fault"].complexity == MODERATE_TO_HIGH
+        assert SSR_CATALOG["filesystem"].complexity == HIGH
+
+    def test_service_times_order_by_complexity(self):
+        assert (
+            SSR_CATALOG["signal"].service_ns
+            < SSR_CATALOG["memory_allocation"].service_ns
+            < SSR_CATALOG["filesystem"].service_ns
+        )
+
+
+class TestSsrRequest:
+    def test_latency_none_until_completed(self):
+        request = SsrRequest(request_id=1, kind=SSR_CATALOG["signal"], issued_at=100)
+        assert request.latency_ns is None
+        request.completed_at = 350
+        assert request.latency_ns == 250
+
+
+class TestLatencyStats:
+    def test_streaming_mean_and_max(self):
+        stats = LatencyStats()
+        for value in (100, 200, 600):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.mean_ns == pytest.approx(300)
+        assert stats.max_ns == 600
+
+    def test_empty_mean_is_zero(self):
+        assert LatencyStats().mean_ns == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for mitigation configuration builders."""
+
+import pytest
+
+from repro.config import COALESCE_WINDOW_PAPER_NS, SystemConfig
+from repro.mitigations import (
+    ALL_COMBINATIONS,
+    apply_mitigations,
+    coalescing,
+    combination,
+    monolithic,
+    steering,
+)
+
+
+class TestBuilders:
+    def test_steering(self):
+        config = steering(SystemConfig(), target=2)
+        assert config.mitigation.steer_to_single_core
+        assert config.mitigation.steering_target == 2
+
+    def test_coalescing_defaults_to_paper_window(self):
+        config = coalescing(SystemConfig())
+        assert config.mitigation.coalesce_window_ns == COALESCE_WINDOW_PAPER_NS
+
+    def test_monolithic(self):
+        assert monolithic(SystemConfig()).mitigation.monolithic_bottom_half
+
+    def test_builders_do_not_mutate_input(self):
+        base = SystemConfig()
+        steering(base)
+        assert not base.mitigation.steer_to_single_core
+
+    def test_apply_all(self):
+        config = apply_mitigations(SystemConfig(), steer=True, coalesce=True, mono=True)
+        mitigation = config.mitigation
+        assert mitigation.steer_to_single_core
+        assert mitigation.coalesce_window_ns > 0
+        assert mitigation.monolithic_bottom_half
+
+
+class TestCombinations:
+    def test_eight_combinations(self):
+        assert len(ALL_COMBINATIONS) == 8
+
+    def test_default_is_identity(self):
+        assert combination(SystemConfig(), "Default") == SystemConfig()
+
+    def test_labels_round_trip(self):
+        for label in ALL_COMBINATIONS:
+            config = combination(SystemConfig(), label)
+            assert config.mitigation.label == label
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            combination(SystemConfig(), "Sorcery")
+
+    def test_combinations_are_distinct(self):
+        configs = {combination(SystemConfig(), label) for label in ALL_COMBINATIONS}
+        assert len(configs) == 8
+
+
+class TestConfigHelpers:
+    def test_with_qos(self):
+        config = SystemConfig().with_qos(enabled=True, ssr_time_threshold=0.05)
+        assert config.qos.enabled
+        assert config.label.endswith("QoS(th_5)")
+
+    def test_with_seed(self):
+        assert SystemConfig().with_seed(7).seed == 7
+
+    def test_system_label_default(self):
+        assert SystemConfig().label == "Default"

@@ -1,0 +1,46 @@
+"""Shared fixtures for OS-kernel tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.oskernel import Kernel, Thread
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def kernel():
+    """A booted 4-core kernel on a fresh environment."""
+    instance = Kernel(Environment(), SystemConfig(), RngRegistry(1))
+    instance.boot()
+    return instance
+
+
+@pytest.fixture
+def env(kernel):
+    return kernel.env
+
+
+class BusyThread(Thread):
+    """Runs for a fixed productive duration, then optionally sleeps, looping."""
+
+    def __init__(self, kernel, name, run_ns, sleep_ns=0, iterations=None, **kwargs):
+        super().__init__(kernel, name, **kwargs)
+        self.run_ns = run_ns
+        self.sleep_ns = sleep_ns
+        self.iterations = iterations
+        self.loops_done = 0
+
+    def body(self):
+        while self.iterations is None or self.loops_done < self.iterations:
+            yield from self.run_for(self.run_ns)
+            self.loops_done += 1
+            if self.sleep_ns:
+                yield from self.sleep(self.sleep_ns)
+
+
+@pytest.fixture
+def busy_thread_factory(kernel):
+    def make(name="busy", run_ns=1_000_000, **kwargs):
+        return kernel.spawn(BusyThread(kernel, name, run_ns, **kwargs))
+
+    return make

@@ -1,0 +1,88 @@
+"""Unit tests for time accounting and counters."""
+
+import pytest
+
+from repro.oskernel import CounterSet, SsrAccounting, TimeAccounting
+from repro.oskernel import accounting as acct
+
+
+class TestTimeAccounting:
+    def test_add_and_read(self):
+        accounting = TimeAccounting(2)
+        accounting.add(0, acct.USER, 100)
+        accounting.add(0, acct.USER, 50)
+        accounting.add(1, acct.KERNEL, 30)
+        assert accounting.core_mode(0, acct.USER) == 150
+        assert accounting.total(acct.USER) == 150
+        assert accounting.total(acct.KERNEL) == 30
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccounting(1).add(0, acct.USER, -1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccounting(1).add(0, "napping", 10)
+
+    def test_grand_total(self):
+        accounting = TimeAccounting(2)
+        accounting.add(0, acct.USER, 10)
+        accounting.add(1, acct.CC6, 20)
+        assert accounting.grand_total() == 30
+
+    def test_residency(self):
+        accounting = TimeAccounting(4)
+        for core in range(4):
+            accounting.add(core, acct.CC6, 50)
+        assert accounting.residency(acct.CC6, 100) == pytest.approx(0.5)
+
+    def test_residency_zero_horizon(self):
+        assert TimeAccounting(1).residency(acct.CC6, 0) == 0.0
+
+    def test_snapshot(self):
+        accounting = TimeAccounting(1)
+        accounting.add(0, acct.IRQ, 5)
+        assert accounting.snapshot() == {0: {acct.IRQ: 5}}
+
+
+class TestSsrAccounting:
+    def test_totals_and_window(self):
+        ssr = SsrAccounting()
+        ssr.add(100)
+        ssr.add(50)
+        assert ssr.total_ns == 150
+        assert ssr.take_window() == 150
+        assert ssr.take_window() == 0
+        ssr.add(25)
+        assert ssr.take_window() == 25
+        assert ssr.total_ns == 175
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SsrAccounting().add(-5)
+
+    def test_completions(self):
+        ssr = SsrAccounting()
+        ssr.note_completion()
+        ssr.note_completion(3)
+        assert ssr.completed == 4
+
+
+class TestCounterSet:
+    def test_bump_and_get(self):
+        counters = CounterSet()
+        counters.bump("x")
+        counters.bump("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+
+    def test_per_core(self):
+        counters = CounterSet()
+        counters.bump("irq:0", 2)
+        counters.bump("irq:2", 7)
+        assert counters.per_core("irq", 4) == [2, 0, 7, 0]
+
+    def test_as_dict(self):
+        counters = CounterSet()
+        counters.bump("a")
+        assert counters.as_dict() == {"a": 1}

@@ -1,0 +1,68 @@
+"""Property-based tests: time conservation under randomized thread mixes.
+
+The core accounting invariant of the whole simulator: every nanosecond of
+every core lands in exactly one bucket, under any workload mix, preemption
+pattern, or sleep schedule.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.oskernel import Kernel, accounting as acct
+from repro.sim import Environment, RngRegistry
+
+from .conftest import BusyThread
+
+_thread_spec = st.tuples(
+    st.integers(min_value=1_000, max_value=2_000_000),   # run_ns
+    st.integers(min_value=0, max_value=1_000_000),       # sleep_ns
+    st.sampled_from([None, 0, 1, 2, 3]),                 # pinned core
+)
+
+
+class TestTimeConservation:
+    @given(specs=st.lists(_thread_spec, min_size=0, max_size=8),
+           horizon_ms=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_every_nanosecond_accounted(self, specs, horizon_ms):
+        kernel = Kernel(Environment(), SystemConfig(), RngRegistry(7))
+        kernel.boot()
+        for index, (run_ns, sleep_ns, pinned) in enumerate(specs):
+            kernel.spawn(
+                BusyThread(
+                    kernel, f"t{index}", run_ns, sleep_ns=sleep_ns, pinned_core=pinned
+                )
+            )
+        horizon = horizon_ms * 1_000_000
+        kernel.env.run(until=horizon)
+        kernel.finalize()
+        total = kernel.accounting.grand_total()
+        expected = horizon * kernel.config.cpu.num_cores
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    @given(specs=st.lists(_thread_spec, min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_productive_time_bounded_by_user_bucket(self, specs):
+        kernel = Kernel(Environment(), SystemConfig(), RngRegistry(3))
+        kernel.boot()
+        threads = [
+            kernel.spawn(BusyThread(kernel, f"t{i}", run, sleep_ns=sleep, pinned_core=pin))
+            for i, (run, sleep, pin) in enumerate(specs)
+        ]
+        kernel.env.run(until=5_000_000)
+        kernel.finalize()
+        productive = sum(t.productive_ns for t in threads)
+        # Productive time excludes stalls, so it can't exceed USER time.
+        assert productive <= kernel.accounting.total(acct.USER) + 1e-6
+
+    @given(horizon_ms=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_cc6_plus_awake_covers_horizon_when_idle(self, horizon_ms):
+        kernel = Kernel(Environment(), SystemConfig(), RngRegistry(1))
+        kernel.boot()
+        horizon = horizon_ms * 1_000_000
+        kernel.env.run(until=horizon)
+        kernel.finalize()
+        total = sum(kernel.accounting.total(mode) for mode in acct.ALL_MODES)
+        assert total == pytest.approx(horizon * 4, rel=1e-9)

@@ -1,0 +1,109 @@
+"""Unit tests for Core internals: segments, pick order, should_yield."""
+
+import pytest
+
+from repro.oskernel import Irq, accounting as acct
+from repro.oskernel.thread import PRIO_KTHREAD, PRIO_NORMAL
+
+from .conftest import BusyThread
+
+
+class TestSegments:
+    def test_nested_segment_rejected(self, kernel):
+        core = kernel.cores[0]
+        core.begin_segment(acct.USER, None, 0.0)
+        with pytest.raises(RuntimeError, match="nested"):
+            core.begin_segment(acct.IRQ, None, 0.0)
+        core.end_segment()
+
+    def test_end_without_begin_rejected(self, kernel):
+        with pytest.raises(RuntimeError, match="without begin"):
+            kernel.cores[0].end_segment()
+
+    def _bare_kernel(self):
+        # Unbooted kernel: no idle threads competing for the segments.
+        from repro.config import SystemConfig
+        from repro.oskernel import Kernel
+        from repro.sim import Environment, RngRegistry
+
+        return Kernel(Environment(), SystemConfig(), RngRegistry(0))
+
+    def test_segment_duration_accounted(self):
+        kernel = self._bare_kernel()
+        core = kernel.cores[0]
+        core.begin_segment(acct.KERNEL, None, 0.0)
+        kernel.env.run(until=1_234)
+        assert core.end_segment() == 1_234
+        assert kernel.accounting.core_mode(0, acct.KERNEL) == 1_234
+
+    def test_finalize_closes_open_segment(self):
+        kernel = self._bare_kernel()
+        core = kernel.cores[3]
+        core.begin_segment(acct.IRQ, None, 0.0)
+        kernel.env.run(until=500)
+        core.finalize()
+        assert kernel.accounting.core_mode(3, acct.IRQ) == 500
+
+    def test_finalize_without_segment_is_noop(self, kernel):
+        kernel.cores[3].finalize()
+
+
+class TestPickOrder:
+    def test_kthread_beats_normal(self, kernel):
+        core = kernel.cores[0]
+        normal = BusyThread(kernel, "n", 1_000)
+        urgent = BusyThread(kernel, "k", 1_000, priority=PRIO_KTHREAD)
+        core.runqueue[PRIO_NORMAL].append(normal)
+        core.runqueue[PRIO_KTHREAD].append(urgent)
+        normal.queued = urgent.queued = True
+        assert core._pick() is urgent
+        assert core._pick() is normal
+
+    def test_fifo_within_priority(self, kernel):
+        core = kernel.cores[0]
+        first = BusyThread(kernel, "first", 1)
+        second = BusyThread(kernel, "second", 1)
+        core.runqueue[PRIO_NORMAL].append(first)
+        core.runqueue[PRIO_NORMAL].append(second)
+        first.queued = second.queued = True
+        assert core._pick() is first
+
+    def test_pick_clears_queued_flag(self, kernel):
+        core = kernel.cores[0]
+        thread = BusyThread(kernel, "t", 1)
+        core.runqueue[PRIO_NORMAL].append(thread)
+        thread.queued = True
+        core._pick()
+        assert not thread.queued
+
+
+class TestLoad:
+    def test_idle_core_load_zero(self, kernel):
+        kernel.env.run(until=10_000)
+        # Cores run idle threads; load must not count them.
+        assert any(core.load() == 0 for core in kernel.cores)
+
+    def test_busy_core_counts_current_and_queued(self, kernel):
+        a = kernel.spawn(BusyThread(kernel, "a", 50_000_000, pinned_core=2))
+        b = kernel.spawn(BusyThread(kernel, "b", 50_000_000, pinned_core=2))
+        kernel.env.run(until=100_000)
+        assert kernel.cores[2].load() == 2
+
+
+class TestContextSwitchCost:
+    def test_first_grant_free(self, kernel):
+        core = kernel.cores[0]
+        thread = BusyThread(kernel, "t", 1)
+        assert core.take_context_switch_cost(thread) == 0
+
+    def test_same_thread_regrant_free(self, kernel):
+        core = kernel.cores[0]
+        thread = BusyThread(kernel, "t", 1)
+        core.last_thread = thread
+        assert core.take_context_switch_cost(thread) == 0
+
+    def test_different_thread_charged(self, kernel):
+        core = kernel.cores[0]
+        core.last_thread = BusyThread(kernel, "old", 1)
+        cost = core.take_context_switch_cost(BusyThread(kernel, "new", 1))
+        assert cost == kernel.config.scheduler.context_switch_ns

@@ -1,0 +1,118 @@
+"""Unit tests for IRQ delivery, policies, and IPIs."""
+
+import pytest
+
+from repro.oskernel import (
+    Irq,
+    SingleCoreDeliveryPolicy,
+    SpreadDeliveryPolicy,
+    accounting as acct,
+)
+
+from .conftest import BusyThread
+
+
+class TestIrqDelivery:
+    def test_irq_handler_charged_to_irq_mode(self, kernel):
+        kernel.spawn(BusyThread(kernel, "victim", 10_000_000))
+        kernel.env.run(until=100_000)
+        fired = []
+        irq = Irq(name="test", handler_ns=2_000, action=lambda core: fired.append(core.id))
+        target = kernel.irq_controller.raise_msi(irq)
+        before = kernel.accounting.total(acct.IRQ)
+        kernel.env.run(until=200_000)
+        assert fired == [target.id]
+        assert kernel.accounting.total(acct.IRQ) >= before + 2_000
+
+    def test_irq_counted_per_core(self, kernel):
+        kernel.env.run(until=100_000)
+        irq = Irq(name="test", handler_ns=500)
+        target = kernel.irq_controller.raise_msi(irq)
+        assert kernel.counters.get(f"{acct.CTR_IRQ}:{target.id}") >= 1
+
+    def test_ssr_irq_accumulates_ssr_time(self, kernel):
+        kernel.env.run(until=100_000)
+        before = kernel.ssr_accounting.total_ns
+        kernel.irq_controller.raise_msi(Irq(name="ssr", handler_ns=1_000, is_ssr=True))
+        kernel.env.run(until=200_000)
+        assert kernel.ssr_accounting.total_ns >= before + 1_000
+
+    def test_irq_interrupts_running_user_thread(self, kernel):
+        thread = kernel.spawn(BusyThread(kernel, "u", 5_000_000, iterations=1))
+        kernel.env.run(until=1_000_000)
+        assert thread.core is not None
+        core = thread.core
+        core.deliver_irq(Irq(name="poke", handler_ns=10_000))
+        kernel.env.run(until=1_050_000)
+        assert not core.has_pending_irqs()
+
+    def test_mode_switch_charged_for_user_victims(self, kernel):
+        kernel.spawn(BusyThread(kernel, "u", 10_000_000, pinned_core=0))
+        # Run past the housekeeping daemon's initial burst so the user
+        # thread is the one occupying core 0.
+        kernel.env.run(until=1_500_000)
+        assert kernel.cores[0].current is not None
+        assert kernel.cores[0].current.kind == "user"
+        before = kernel.accounting.core_mode(0, acct.SWITCH)
+        kernel.cores[0].deliver_irq(Irq(name="poke", handler_ns=1_000))
+        kernel.env.run(until=1_600_000)
+        assert kernel.accounting.core_mode(0, acct.SWITCH) > before
+
+
+class TestDeliveryPolicies:
+    def test_single_core_policy(self, kernel):
+        policy = SingleCoreDeliveryPolicy(target=3)
+        for _ in range(5):
+            assert policy.select(kernel).id == 3
+
+    def test_spread_policy_avoids_sleeping_cores(self, kernel):
+        kernel.env.run(until=2_000_000)  # let everyone fall asleep
+        sleeping = [c.id for c in kernel.cores if c.is_sleeping]
+        assert len(sleeping) == 4
+        policy = SpreadDeliveryPolicy()
+        chosen = policy.select(kernel)
+        # Everyone asleep: policy picks (and implicitly wakes) exactly one.
+        assert chosen.id in sleeping
+
+    def test_spread_policy_rotates_over_busy_cores(self, kernel):
+        for i in range(4):
+            kernel.spawn(BusyThread(kernel, f"t{i}", 50_000_000))
+        kernel.env.run(until=1_000_000)
+        policy = SpreadDeliveryPolicy()
+        chosen = [policy.select(kernel).id for _ in range(8)]
+        assert set(chosen) == {0, 1, 2, 3}
+
+    def test_spread_policy_sticks_to_idle_core(self, kernel):
+        kernel.spawn(BusyThread(kernel, "t", 50_000_000, pinned_core=0))
+        kernel.env.run(until=50_000)  # cores 1-3 awake-idle (grace period)
+        policy = SpreadDeliveryPolicy()
+        first = policy.select(kernel)
+        second = policy.select(kernel)
+        assert first.id != 0
+        assert second.id == first.id  # sticky
+
+
+class TestIpis:
+    def test_resched_ipi_counts_and_charges_receiver(self, kernel):
+        kernel.env.run(until=100_000)
+        before_ipi = kernel.ipis_total()
+        before_irq = kernel.accounting.core_mode(1, acct.IRQ)
+        kernel.irq_controller.send_resched_ipi(target_core_id=1, origin_core_id=0)
+        kernel.env.run(until=300_000)
+        assert kernel.ipis_total() == before_ipi + 1
+        assert (
+            kernel.accounting.core_mode(1, acct.IRQ)
+            >= before_irq + kernel.config.os_path.ipi_receive_ns
+        )
+
+    def test_wake_ipi_wakes_sleeping_core(self, kernel):
+        kernel.env.run(until=2_000_000)
+        assert kernel.cores[2].is_sleeping
+        kernel.irq_controller.send_wake_ipi(2)
+        kernel.env.run(
+            until=2_000_000
+            + kernel.config.cstate.exit_latency_ns
+            + kernel.config.os_path.ipi_receive_ns
+            + 200_000
+        )
+        assert not kernel.cores[2].is_sleeping or kernel.counters.get(acct.CTR_CORE_WAKEUP) > 0

@@ -1,0 +1,71 @@
+"""Unit tests for the kernel facade and housekeeping."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.oskernel import Kernel, accounting as acct
+from repro.sim import Environment, RngRegistry
+
+from .conftest import BusyThread
+
+
+class TestBoot:
+    def test_double_boot_rejected(self, kernel):
+        with pytest.raises(RuntimeError):
+            kernel.boot()
+
+    def test_boot_starts_idle_threads(self, kernel):
+        kernel.env.run(until=10_000)
+        # Idle threads hold the cores (the housekeeping daemon may occupy
+        # at most one).
+        idle_held = sum(
+            1
+            for core in kernel.cores
+            if core.current is not None and core.current.kind == "idle"
+        )
+        assert idle_held >= 3
+
+    def test_spawn_registers_thread(self, kernel):
+        thread = kernel.spawn(BusyThread(kernel, "reg", 1_000, iterations=1))
+        assert kernel.thread_registry["reg"] is thread
+
+
+class TestHousekeeping:
+    def test_timer_ticks_fire_on_awake_cores(self, kernel):
+        kernel.spawn(BusyThread(kernel, "hog", 50_000_000, pinned_core=0))
+        kernel.env.run(until=20_000_000)
+        # Core 0 stayed awake: it took several timer ticks.
+        assert kernel.counters.get(f"{acct.CTR_IRQ}:0") >= 3
+
+    def test_ticks_suppressed_while_sleeping(self, kernel):
+        kernel.env.run(until=20_000_000)
+        # All cores asleep most of the run: almost no tick IRQs (NOHZ).
+        total_irqs = sum(kernel.interrupts_per_core())
+        assert total_irqs < 20
+
+    def test_daemon_consumes_kernel_time(self, kernel):
+        kernel.env.run(until=30_000_000)
+        kernel.finalize()
+        assert kernel.accounting.total(acct.KERNEL) > 0
+
+
+class TestIntrospection:
+    def test_cc6_residency_bounds(self, kernel):
+        kernel.env.run(until=5_000_000)
+        kernel.finalize()
+        assert 0.0 <= kernel.cc6_residency(5_000_000) <= 1.0
+
+    def test_interrupts_per_core_length(self, kernel):
+        assert len(kernel.interrupts_per_core()) == 4
+
+    def test_time_conservation_with_threads(self, kernel):
+        for i in range(6):
+            kernel.spawn(
+                BusyThread(kernel, f"t{i}", 700_000, sleep_ns=300_000, iterations=8)
+            )
+        horizon = 12_000_000
+        kernel.env.run(until=horizon)
+        kernel.finalize()
+        assert kernel.accounting.grand_total() == pytest.approx(
+            horizon * 4, rel=1e-9
+        )

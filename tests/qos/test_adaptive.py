@@ -1,0 +1,61 @@
+"""Unit tests for the adaptive QoS governor (the paper's future work)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.qos import AdaptiveQosGovernor
+from repro.workloads import gpu_app, parsec
+
+HORIZON = 8_000_000
+
+
+def run(cpu_name=None, floor=0.02):
+    config = SystemConfig().with_qos(enabled=True, adaptive=True, adaptive_floor=floor)
+    system = System(config)
+    if cpu_name:
+        system.add_cpu_app(parsec(cpu_name))
+    system.add_gpu_workload(gpu_app("ubench"))
+    metrics = system.run(HORIZON)
+    return system, metrics
+
+
+class TestAdaptiveGovernor:
+    def test_system_builds_adaptive_variant(self):
+        system, _ = run()
+        assert isinstance(system.kernel.qos_governor, AdaptiveQosGovernor)
+
+    def test_config_label(self):
+        config = SystemConfig().with_qos(enabled=True, adaptive=True)
+        assert config.qos.label == "th_adaptive"
+
+    def test_idle_host_donates_capacity(self):
+        system, metrics = run(cpu_name=None)
+        governor = system.kernel.qos_governor
+        assert governor.effective_threshold > 0.5
+        assert governor.throttle_events == 0
+        assert metrics.gpu.faults_completed > 0
+
+    def test_busy_host_converges_toward_floor(self):
+        system, _metrics = run(cpu_name="streamcluster")
+        governor = system.kernel.qos_governor
+        assert governor.effective_threshold < 0.3
+        assert governor.throttle_events > 0
+
+    def test_busy_host_recovers_cpu_performance(self):
+        plain = System(SystemConfig())
+        plain.add_cpu_app(parsec("x264"))
+        plain.add_gpu_workload(gpu_app("ubench"))
+        unprotected = plain.run(HORIZON)
+        _, protected = run(cpu_name="x264")
+        assert protected.cpu_app.instructions > unprotected.cpu_app.instructions
+
+    def test_floor_is_respected(self):
+        system, _ = run(cpu_name="streamcluster", floor=0.10)
+        governor = system.kernel.qos_governor
+        assert governor.effective_threshold >= 0.10
+
+    def test_idle_share_is_probability(self):
+        system, _ = run(cpu_name="vips")
+        governor = system.kernel.qos_governor
+        assert 0.0 <= governor.idle_share <= 1.0

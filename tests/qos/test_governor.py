@@ -1,0 +1,78 @@
+"""Unit tests for the QoS backpressure governor."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.qos import QosGovernor
+from repro.workloads import gpu_app, parsec
+
+HORIZON = 8_000_000
+
+
+def run_pair(threshold=None, cpu="swaptions", gpu="ubench"):
+    config = SystemConfig()
+    if threshold is not None:
+        config = config.with_qos(enabled=True, ssr_time_threshold=threshold)
+    system = System(config)
+    system.add_cpu_app(parsec(cpu))
+    system.add_gpu_workload(gpu_app(gpu))
+    metrics = system.run(HORIZON)
+    return system, metrics
+
+
+class TestConstruction:
+    def test_requires_enabled_config(self):
+        system = System(SystemConfig())
+        with pytest.raises(ValueError):
+            QosGovernor(system.kernel)
+
+
+class TestThrottling:
+    def test_tight_threshold_throttles(self):
+        system, _metrics = run_pair(threshold=0.01)
+        governor = system.kernel.qos_governor
+        assert governor.throttle_events > 0
+        assert governor.total_delay_ns > 0
+        assert governor.max_delay_ns_seen >= system.config.qos.initial_delay_ns
+
+    def test_backoff_escalates_exponentially(self):
+        system, _metrics = run_pair(threshold=0.01)
+        governor = system.kernel.qos_governor
+        assert governor.max_delay_ns_seen >= 2 * system.config.qos.initial_delay_ns
+
+    def test_loose_threshold_never_binds(self):
+        system, _metrics = run_pair(threshold=0.9)
+        assert system.kernel.qos_governor.throttle_events == 0
+
+    def test_throttling_reduces_gpu_throughput(self):
+        _s1, unthrottled = run_pair(threshold=None)
+        _s2, throttled = run_pair(threshold=0.01)
+        assert throttled.gpu.faults_completed < 0.5 * unthrottled.gpu.faults_completed
+
+    def test_throttling_caps_ssr_time_fraction(self):
+        _system, metrics = run_pair(threshold=0.01)
+        # The paper notes the cap can be exceeded slightly (periodic
+        # enforcement); allow generous slack but require real containment.
+        assert metrics.ssr_time_fraction < 0.05
+
+    def test_throttling_improves_cpu_performance(self):
+        _s1, unthrottled = run_pair(threshold=None)
+        _s2, throttled = run_pair(threshold=0.01)
+        assert throttled.cpu_app.instructions > unthrottled.cpu_app.instructions
+
+    def test_delay_resets_under_threshold(self):
+        system, _metrics = run_pair(threshold=0.01)
+        governor = system.kernel.qos_governor
+        # After the run the GPU is stalled and the window drains: the
+        # governor's delay state may be anything, but gating logic must
+        # reset delay when under threshold.
+        governor.over_threshold = False
+        gate = governor.gate(system.kernel.workqueues.workers[0])
+        list(gate)  # runs to completion without sleeping
+        assert governor.delay_ns == 0
+
+    def test_metrics_carry_qos_stats(self):
+        _system, metrics = run_pair(threshold=0.01)
+        assert metrics.qos_throttle_events > 0
+        assert metrics.qos_total_delay_ns > 0

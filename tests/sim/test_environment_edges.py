@@ -1,0 +1,65 @@
+"""Edge-case tests for the environment and engine error paths."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+class TestEmptySchedule:
+    def test_step_on_empty_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+    def test_run_on_empty_is_noop(self):
+        env = Environment()
+        env.run()
+        assert env.now == 0
+
+    def test_peek_empty(self):
+        assert Environment().peek() is None
+
+    def test_peek_returns_next_time(self):
+        env = Environment()
+        env.timeout(50)
+        env.timeout(10)
+        assert env.peek() == 10
+
+
+class TestRunUntilEvent:
+    def test_dry_schedule_raises(self):
+        env = Environment()
+        with pytest.raises(RuntimeError, match="ran dry"):
+            env.run_until_event(env.event())
+
+    def test_failed_event_raises_its_exception(self):
+        env = Environment()
+        target = env.event()
+        env.call_later(5, lambda: target.fail(KeyError("why")))
+        with pytest.raises(KeyError):
+            env.run_until_event(target)
+
+    def test_limit_leaves_event_pending(self):
+        env = Environment()
+        target = env.timeout(1_000)
+        with pytest.raises(TimeoutError):
+            env.run_until_event(target, limit=10)
+        assert not target.processed
+
+
+class TestInitialTime:
+    def test_nonzero_start(self):
+        env = Environment(initial_time=500)
+        fired = []
+        env.timeout(10).callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [510]
+
+
+class TestCallLaterOrdering:
+    def test_callbacks_fire_in_registration_order_at_same_instant(self):
+        env = Environment()
+        order = []
+        env.call_later(10, lambda: order.append("a"))
+        env.call_later(10, lambda: order.append("b"))
+        env.run()
+        assert order == ["a", "b"]

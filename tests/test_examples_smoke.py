@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end (tiny horizons).
+
+Examples are part of the public surface; these tests keep them honest.
+Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "4")
+        assert "relative performance" in out
+        assert "CC6 sleep residency" in out
+
+    def test_mitigation_explorer(self):
+        out = run_example("mitigation_explorer.py", "swaptions", "sssp", "5")
+        assert "Pareto optimal" in out
+        assert "Default" in out
+
+    def test_qos_capacity_planning(self):
+        out = run_example("qos_capacity_planning.py", "swaptions", "5")
+        assert "threshold" in out
+        assert "1%" in out
+
+    def test_accelerator_rich_future(self):
+        out = run_example("accelerator_rich_future.py", "swaptions", "xsbench", "2")
+        assert "Without QoS" in out
+        assert "With the QoS governor" in out
+
+    def test_ssr_latency_anatomy(self):
+        out = run_example("ssr_latency_anatomy.py")
+        assert "page_fault" in out
+        assert "monolithic" in out.lower()
+
+    def test_collaborative_pipeline(self):
+        out = run_example("collaborative_pipeline.py", "6")
+        assert "batches consumed" in out
+        assert "signal" in out

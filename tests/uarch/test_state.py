@@ -1,0 +1,106 @@
+"""Unit tests for per-core uarch state and kernel-window disturbance."""
+
+import random
+
+import pytest
+
+from repro.uarch import (
+    AddressStreamSpec,
+    BranchStreamSpec,
+    CoreUarchState,
+    UarchConfig,
+    measure_steady_state,
+)
+
+
+@pytest.fixture
+def state():
+    return CoreUarchState(UarchConfig(cache_sets=16, cache_ways=4), random.Random(0))
+
+
+def _user_specs(lines=32):
+    return (
+        AddressStreamSpec(base=0x1_0000, lines=lines, hot_fraction=0.5, hot_rate=0.9),
+        BranchStreamSpec(base_pc=0x4000, sites=32, bias=0.95),
+    )
+
+
+def _kernel_specs():
+    return (
+        AddressStreamSpec(base=0xFF_0000, lines=64, hot_fraction=0.5, hot_rate=0.7),
+        BranchStreamSpec(base_pc=0xFF_8000, sites=64, bias=0.85),
+    )
+
+
+class TestUserWindow:
+    def test_returns_miss_and_mispredict_counts(self, state):
+        addr, branch = _user_specs()
+        misses, mispredicts = state.run_user_window("u", addr, branch, 100, 50)
+        assert 0 < misses <= 100
+        assert 0 <= mispredicts <= 50
+
+    def test_warm_window_misses_less(self, state):
+        addr, branch = _user_specs(lines=16)
+        cold_misses, _ = state.run_user_window("u", addr, branch, 200, 10)
+        warm_misses, _ = state.run_user_window("u", addr, branch, 200, 10)
+        assert warm_misses < cold_misses
+
+    def test_occupancy_builds(self, state):
+        addr, branch = _user_specs(lines=16)
+        state.run_user_window("u", addr, branch, 200, 10)
+        assert state.l1d.occupancy("u") > 0
+
+
+class TestKernelWindow:
+    def test_disturbance_reported_per_victim(self, state):
+        user_addr, user_branch = _user_specs(lines=64)
+        state.run_user_window("victim", user_addr, user_branch, 400, 100)
+        kernel_addr, kernel_branch = _kernel_specs()
+        disturbances = state.run_kernel_window(kernel_addr, kernel_branch, 128, 64)
+        assert "victim" in disturbances
+        assert disturbances["victim"].lines_evicted > 0
+
+    def test_no_disturbance_on_empty_cache(self, state):
+        kernel_addr, kernel_branch = _kernel_specs()
+        disturbances = state.run_kernel_window(kernel_addr, kernel_branch, 64, 32)
+        assert disturbances == {}
+
+    def test_kernel_self_eviction_not_reported(self, state):
+        kernel_addr, kernel_branch = _kernel_specs()
+        state.run_kernel_window(kernel_addr, kernel_branch, 200, 64)
+        disturbances = state.run_kernel_window(kernel_addr, kernel_branch, 200, 64)
+        assert "kernel" not in disturbances
+
+
+class TestSleep:
+    def test_flush_for_deep_sleep(self, state):
+        addr, branch = _user_specs()
+        state.run_user_window("u", addr, branch, 100, 10)
+        assert state.flush_for_deep_sleep() > 0
+        assert state.l1d.occupancy("u") == 0
+
+
+class TestSteadyState:
+    def test_rates_are_probabilities(self):
+        addr, branch = _user_specs(lines=200)
+        miss, mispredict = measure_steady_state(addr, branch, UarchConfig())
+        assert 0.0 <= miss <= 1.0
+        assert 0.0 <= mispredict <= 1.0
+
+    def test_small_hot_set_misses_less_than_huge_set(self):
+        config = UarchConfig()
+        small = AddressStreamSpec(base=0, lines=64, hot_fraction=0.5, hot_rate=0.95)
+        huge = AddressStreamSpec(base=0, lines=4096, hot_fraction=0.05, hot_rate=0.3)
+        branch = BranchStreamSpec(base_pc=0x4000, sites=32, bias=0.95)
+        small_miss, _ = measure_steady_state(small, branch, config)
+        huge_miss, _ = measure_steady_state(huge, branch, config)
+        assert small_miss < huge_miss
+
+    def test_predictable_branches_mispredict_less(self):
+        config = UarchConfig()
+        addr = AddressStreamSpec(base=0, lines=64)
+        predictable = BranchStreamSpec(base_pc=0, sites=32, bias=0.98)
+        erratic = BranchStreamSpec(base_pc=0, sites=32, bias=0.6)
+        _, low = measure_steady_state(addr, predictable, config)
+        _, high = measure_steady_state(addr, erratic, config)
+        assert low < high

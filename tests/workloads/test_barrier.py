@@ -1,0 +1,84 @@
+"""Unit tests for the cyclic barrier."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.workloads import Barrier
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBarrier:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Barrier(env, 0)
+
+    def test_releases_when_all_arrive(self, env):
+        barrier = Barrier(env, 3)
+        released_at = []
+
+        def party(delay):
+            yield env.timeout(delay)
+            event = barrier.arrive()
+            if not event.processed:
+                yield event
+            released_at.append(env.now)
+
+        for delay in (10, 20, 30):
+            env.process(party(delay))
+        env.run()
+        assert released_at == [30, 30, 30]
+        assert barrier.generations == 1
+
+    def test_cyclic_reuse(self, env):
+        barrier = Barrier(env, 2)
+        finish_times = []
+
+        def party(period):
+            for _ in range(3):
+                yield env.timeout(period)
+                event = barrier.arrive()
+                if not event.processed:
+                    yield event
+            finish_times.append(env.now)
+
+        env.process(party(10))
+        env.process(party(25))
+        env.run()
+        assert barrier.generations == 3
+        # Both finish when the slower one completes its third round.
+        assert finish_times == [75, 75]
+
+    def test_slowest_gates_everyone(self, env):
+        barrier = Barrier(env, 4)
+        release = []
+
+        def party(delay):
+            yield env.timeout(delay)
+            event = barrier.arrive()
+            if not event.processed:
+                yield event
+            release.append(env.now)
+
+        for delay in (1, 2, 3, 500):
+            env.process(party(delay))
+        env.run()
+        assert all(t == 500 for t in release)
+
+    def test_waiting_count(self, env):
+        barrier = Barrier(env, 3)
+        barrier.arrive()
+        barrier.arrive()
+        assert barrier.waiting == 2
+        barrier.arrive()
+        assert barrier.waiting == 0
+
+    def test_last_arriver_event_triggered_immediately(self, env):
+        barrier = Barrier(env, 2)
+        first = barrier.arrive()
+        assert not first.triggered
+        second = barrier.arrive()
+        assert second.triggered and first.triggered

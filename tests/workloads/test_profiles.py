@@ -1,0 +1,92 @@
+"""Unit tests for workload profile dataclasses and catalogs."""
+
+import pytest
+
+from repro.workloads import (
+    CpuAppProfile,
+    GPU_APP_NAMES,
+    GPU_NAMES,
+    GpuAppProfile,
+    PARSEC_NAMES,
+    gpu_app,
+    parsec,
+)
+
+
+class TestCpuAppProfile:
+    def test_validation_threads(self):
+        with pytest.raises(ValueError):
+            CpuAppProfile(name="bad", threads=0)
+
+    def test_validation_duty_length(self):
+        with pytest.raises(ValueError):
+            CpuAppProfile(name="bad", threads=4, thread_duty=(1.0,))
+
+    def test_validation_duty_range(self):
+        with pytest.raises(ValueError):
+            CpuAppProfile(name="bad", thread_duty=(1.0, 0.0, 1.0, 1.0))
+
+    def test_profiles_hashable(self):
+        assert hash(parsec("x264")) == hash(parsec("x264"))
+
+
+class TestGpuAppProfile:
+    def test_mean_fault_interval(self):
+        profile = GpuAppProfile(
+            name="p", compute_chunk_ns=1_000_000, faults_per_chunk=10, blocking=False
+        )
+        assert profile.mean_fault_interval_ns == pytest.approx(100_000)
+
+    def test_mean_fault_interval_no_faults(self):
+        profile = GpuAppProfile(
+            name="p", compute_chunk_ns=1_000_000, faults_per_chunk=0, blocking=False
+        )
+        assert profile.mean_fault_interval_ns == float("inf")
+
+    def test_without_ssrs(self):
+        quiet = gpu_app("sssp").without_ssrs()
+        assert quiet.faults_per_chunk == 0.0
+        assert quiet.burst_faults == 0
+        assert quiet.compute_chunk_ns == gpu_app("sssp").compute_chunk_ns
+
+
+class TestCatalogs:
+    def test_thirteen_parsec_benchmarks(self):
+        assert len(PARSEC_NAMES) == 13
+
+    def test_paper_parsec_names_present(self):
+        for name in ("blackscholes", "fluidanimate", "raytrace", "streamcluster", "x264"):
+            assert name in PARSEC_NAMES
+
+    def test_six_gpu_workloads(self):
+        assert len(GPU_NAMES) == 6
+        assert "ubench" in GPU_NAMES
+        assert "ubench" not in GPU_APP_NAMES
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(KeyError):
+            parsec("doom")
+        with pytest.raises(KeyError):
+            gpu_app("doom")
+
+    def test_paper_characterizations(self):
+        """The traits the paper calls out explicitly."""
+        raytrace = parsec("raytrace")
+        assert raytrace.thread_duty[0] == 1.0
+        assert all(duty < 0.2 for duty in raytrace.thread_duty[1:])
+
+        fluidanimate = parsec("fluidanimate")
+        assert fluidanimate.barriers
+
+        streamcluster = parsec("streamcluster")
+        assert streamcluster.barriers and streamcluster.think_ns == 0
+
+        bfs = gpu_app("bfs")
+        assert bfs.burst_faults > 0  # clustered early faults
+
+        ubench = gpu_app("ubench")
+        assert not ubench.blocking
+        assert ubench.mean_fault_interval_ns < 50_000  # continuous storm
+
+        sssp = gpu_app("sssp")
+        assert sssp.blocking and sssp.dependent_faults > 0
