@@ -15,6 +15,7 @@ from ..iommu import Iommu, IommuDriver
 from ..oskernel import Kernel, accounting as acct
 from ..qos import AdaptiveQosGovernor, QosGovernor
 from ..sim import Environment, RngRegistry
+from ..telemetry import get_active_tracer
 from ..workloads import CpuApp, CpuAppProfile, GpuAppProfile
 from .metrics import CpuAppMetrics, GpuMetrics, SystemMetrics
 
@@ -26,11 +27,15 @@ DEFAULT_HORIZON_NS = 50_000_000
 class System:
     """A simulated heterogeneous SoC: CPUs + OS + IOMMU + GPU(s)."""
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    def __init__(self, config: Optional[SystemConfig] = None, tracer=None):
         self.config = config or SystemConfig()
         self.env = Environment()
         self.rng = RngRegistry(self.config.seed)
-        self.kernel = Kernel(self.env, self.config, self.rng)
+        #: Telemetry sink: an explicit tracer wins; otherwise the process
+        #: active tracer (set by ``hiss-experiments --trace``), which
+        #: defaults to the no-op NULL_TRACER.
+        self.tracer = tracer if tracer is not None else get_active_tracer()
+        self.kernel = Kernel(self.env, self.config, self.rng, tracer=self.tracer)
         self.iommu = Iommu(self.kernel)
         self.driver = IommuDriver(self.kernel, self.iommu)
         self.signal_path = SignalPath(self.kernel)

@@ -8,9 +8,10 @@ i.e., hardware backpressure cleared) -> ``drained`` (bottom half read the
 log) -> ``queued`` (work item inserted) -> ``service_start`` (kworker got
 the CPU) -> ``completed`` (response written back).
 
-:func:`latency_breakdown` aggregates a set of completed requests into mean
-per-stage latencies — the tool for answering "where does the SSR time go,
-and what did a mitigation actually change?".
+:func:`latency_breakdown` aggregates a set of completed requests into
+per-stage latency statistics — mean and max exactly, p50/p95/p99 via the
+telemetry histogram's geometric buckets — the tool for answering "where
+does the SSR time go, and what did a mitigation actually change?".
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..iommu.request import SsrRequest
+from ..telemetry.metrics import Histogram
 
 #: The chain stages, in order, with human labels.
 STAGE_SEQUENCE: List[Tuple[str, str, str]] = [
@@ -32,12 +34,20 @@ STAGE_SEQUENCE: List[Tuple[str, str, str]] = [
 
 @dataclass(frozen=True)
 class StageLatency:
-    """Mean/max latency of one chain stage over a request population."""
+    """Latency statistics of one chain stage over a request population.
+
+    ``mean_ns`` and ``max_ns`` are exact; the quantiles come from a
+    geometric-bucket :class:`~repro.telemetry.metrics.Histogram` (worst
+    case ~12% relative error, clamped to the observed range).
+    """
 
     name: str
     mean_ns: float
     max_ns: float
     samples: int
+    p50_ns: float = 0.0
+    p95_ns: float = 0.0
+    p99_ns: float = 0.0
 
 
 def latency_breakdown(requests: Iterable[SsrRequest]) -> List[StageLatency]:
@@ -46,26 +56,27 @@ def latency_breakdown(requests: Iterable[SsrRequest]) -> List[StageLatency]:
     Requests missing a stamp for a stage (e.g., signals, which skip the
     PPR path) simply do not contribute samples to that stage.
     """
-    sums: Dict[str, float] = {}
-    maxes: Dict[str, float] = {}
-    counts: Dict[str, int] = {}
+    histograms: Dict[str, Histogram] = {
+        label: Histogram(label) for _start, _end, label in STAGE_SEQUENCE
+    }
     for request in requests:
         for start, end, label in STAGE_SEQUENCE:
             delta = request.stage_delta(start, end)
             if delta is None:
                 continue
-            sums[label] = sums.get(label, 0.0) + delta
-            maxes[label] = max(maxes.get(label, 0.0), delta)
-            counts[label] = counts.get(label, 0) + 1
+            histograms[label].record(delta)
     breakdown = []
     for _start, _end, label in STAGE_SEQUENCE:
-        count = counts.get(label, 0)
+        histogram = histograms[label]
         breakdown.append(
             StageLatency(
                 name=label,
-                mean_ns=sums.get(label, 0.0) / count if count else 0.0,
-                max_ns=maxes.get(label, 0.0),
-                samples=count,
+                mean_ns=histogram.mean,
+                max_ns=histogram.max if histogram.max is not None else 0.0,
+                samples=histogram.count,
+                p50_ns=histogram.quantile(0.50),
+                p95_ns=histogram.quantile(0.95),
+                p99_ns=histogram.quantile(0.99),
             )
         )
     return breakdown
@@ -78,12 +89,21 @@ def total_mean_latency_ns(requests: Iterable[SsrRequest]) -> float:
 
 
 def format_breakdown(breakdown: List[StageLatency]) -> str:
-    """Render a breakdown as an aligned text table."""
-    lines = [f"{'stage':28s} {'mean_us':>9s} {'max_us':>9s} {'samples':>8s}"]
+    """Render a breakdown as an aligned text table.
+
+    The original mean/max/samples columns keep their positions; the
+    percentile columns are appended (backward-compatible output).
+    """
+    lines = [
+        f"{'stage':28s} {'mean_us':>9s} {'max_us':>9s} {'samples':>8s} "
+        f"{'p50_us':>9s} {'p95_us':>9s} {'p99_us':>9s}"
+    ]
     lines.append("-" * len(lines[0]))
     for stage in breakdown:
         lines.append(
             f"{stage.name:28s} {stage.mean_ns / 1e3:9.2f} "
-            f"{stage.max_ns / 1e3:9.2f} {stage.samples:8d}"
+            f"{stage.max_ns / 1e3:9.2f} {stage.samples:8d} "
+            f"{stage.p50_ns / 1e3:9.2f} {stage.p95_ns / 1e3:9.2f} "
+            f"{stage.p99_ns / 1e3:9.2f}"
         )
     return "\n".join(lines)

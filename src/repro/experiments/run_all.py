@@ -103,6 +103,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--markdown", metavar="FILE", default=None,
         help="also write all results as a markdown report",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a structured event trace of every simulated run and "
+        "write it as Chrome trace_event JSON (open in Perfetto or "
+        "chrome://tracing; inspect with hiss-trace)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=2_000_000,
+        help="trace ring-buffer size in events (oldest dropped beyond this)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -121,6 +131,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     unknown = [t for t in targets if t not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; known: {sorted(REGISTRY)}")
+
+    tracer = None
+    if args.trace:
+        from ..telemetry import Tracer, set_active_tracer
+
+        tracer = Tracer(capacity=args.trace_capacity)
+        set_active_tracer(tracer)
 
     results = []
     for experiment_id in targets:
@@ -147,6 +164,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.markdown, "w") as handle:
             handle.write(render_markdown(results))
         print(f"wrote {args.markdown}")
+    if tracer is not None:
+        from ..telemetry import set_active_tracer, write_chrome_trace
+
+        set_active_tracer(None)
+        write_chrome_trace(tracer, args.trace, label=f"hiss:{','.join(targets)}")
+        print(
+            f"wrote {args.trace} ({len(tracer)} events, {tracer.dropped} dropped; "
+            f"inspect with 'hiss-trace summary {args.trace}')"
+        )
     return 0
 
 

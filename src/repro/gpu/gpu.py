@@ -71,6 +71,8 @@ class GpuDevice:
         )
         self.host_thread = HostRuntimeThread(kernel, profile)
         self._rng = kernel.rng.stream(f"gpu:{profile.name}")
+        #: Telemetry track name for this device's events.
+        self._track = f"gpu:{profile.name}"
 
         #: Completed GPU compute time (the progress metric for real apps).
         self.progress_ns = 0
@@ -127,6 +129,12 @@ class GpuDevice:
                 stall_start = self.env.now
                 yield self.env.all_of(completions)
                 self.stall_ns += self.env.now - stall_start
+                tracer = self.kernel.tracer
+                if tracer.enabled and self.env.now > stall_start:
+                    tracer.span(
+                        "gpu.stall", "gpu", self._track, stall_start, self.env.now,
+                        args={"reason": "chunk_faults", "faults": len(completions)},
+                    )
 
     #: Progress-accounting tick: fine enough that a horizon cut mid-chunk
     #: loses a negligible sliver of progress (whole-chunk accounting would
@@ -161,11 +169,24 @@ class GpuDevice:
         yield self.iommu.submit(request)
         self.stall_ns += self.env.now - stall_start
         self.faults_issued += 1
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "gpu.fault.issue", "gpu", self._track, self.env.now,
+                args={"id": request.request_id, "blocking": blocking,
+                      "backpressure_ns": self.env.now - stall_start},
+            )
+            tracer.metrics.counter("gpu.faults_issued").inc()
         request.completion.callbacks.append(self._on_fault_complete)
         if blocking:
             wait_start = self.env.now
             yield request.completion
             self.stall_ns += self.env.now - wait_start
+            if tracer.enabled and self.env.now > wait_start:
+                tracer.span(
+                    "gpu.stall", "gpu", self._track, wait_start, self.env.now,
+                    args={"reason": "dependent_fault", "id": request.request_id},
+                )
         return request
 
     def _on_fault_complete(self, _event) -> None:

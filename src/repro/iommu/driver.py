@@ -134,6 +134,12 @@ class IommuDriver:
         requests = self.iommu.drain_ready()
         if not requests:
             return
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "iommu.monolithic_drain", "ssr", core.id, self.kernel.env.now,
+                args={"requests": len(requests)},
+            )
         footprint = self.kernel.config.os_path.bottom_half_footprint
         core._run_kernel_window(
             footprint[0] * max(1, len(requests) // 2), footprint[1], core.current
@@ -150,7 +156,22 @@ class IommuDriver:
         cost = (
             os_path.bottom_half_per_request_ns + os_path.queue_work_ns
         ) * len(requests)
+        batch_start = self.kernel.env.now
         yield from thread.run_for(cost)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            core_id = thread.core.id if thread.core is not None else (
+                thread.last_core_id or 0
+            )
+            tracer.span(
+                "iommu.bottom_half", "ssr", core_id,
+                batch_start, self.kernel.env.now,
+                args={"requests": len(requests)},
+            )
+            tracer.metrics.counter("ssr.bh_batches").inc()
+            tracer.metrics.histogram("ssr.bh_batch_size", low=1.0, high=1e4).record(
+                len(requests)
+            )
         self.kernel.ssr_accounting.add(cost)
         if thread.core is not None:
             footprint = os_path.bottom_half_footprint

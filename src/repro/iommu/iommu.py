@@ -53,6 +53,13 @@ class Iommu:
         accepts it (it pends while the queue is full)."""
         self.kernel.counters.bump(acct.CTR_SSR_REQUEST)
         request.stages["submitted"] = self.env.now
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "ssr.submit", "ssr", "iommu", self.env.now,
+                args={"id": request.request_id, "kind": request.kind.name,
+                      "ppr_backlog": len(self.ppr_queue)},
+            )
         accepted = self.ppr_queue.put(request)
         accepted.callbacks.append(lambda _event: self._on_accepted(request))
         return accepted
@@ -113,6 +120,15 @@ class Iommu:
         request.stages["completed"] = self.env.now
         self.latency.record(request.latency_ns)
         self.kernel.ssr_accounting.note_completion()
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "ssr.complete", "ssr", "iommu", self.env.now,
+                args={"id": request.request_id, "kind": request.kind.name,
+                      "latency_ns": request.latency_ns},
+            )
+            tracer.metrics.counter("ssr.completed").inc()
+            tracer.metrics.histogram("ssr.latency_ns").record(request.latency_ns)
         self.recent_completed.append(request)
         request.completion.succeed()
 

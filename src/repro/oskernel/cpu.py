@@ -215,6 +215,13 @@ class Core:
         """Queue a hard IRQ; poke whoever occupies the core."""
         self.pending_irqs.append(irq)
         self.kernel.counters.bump(f"{acct.CTR_IRQ}:{self.id}")
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "irq.deliver", "irq", self.id, self.env.now,
+                args={"irq": irq.name, "ssr": irq.is_ssr,
+                      "core_sleeping": self.is_sleeping},
+            )
         thread = self.current
         if thread is not None and thread.interruptible:
             thread.process.interrupt("irq")
@@ -234,10 +241,19 @@ class Core:
         is_user = thread.kind == KIND_USER
         if is_user:
             yield from self._charge(acct.SWITCH, thread, self.config.scheduler.mode_switch_ns)
+        tracer = self.kernel.tracer
         while self.pending_irqs:
             irq = self.pending_irqs.popleft()
             handler_ns = irq.handler_ns
+            top_half_start = self.env.now
             yield from self._charge(acct.IRQ, thread, handler_ns)
+            if tracer.enabled:
+                tracer.span(
+                    f"irq:{irq.name}", "irq", self.id,
+                    top_half_start, self.env.now,
+                    args={"victim": thread.name, "ssr": irq.is_ssr},
+                )
+                tracer.metrics.histogram("irq.handler_ns").record(handler_ns)
             if irq.is_ssr:
                 self.kernel.ssr_accounting.add(handler_ns)
             if irq.footprint is not None:
@@ -327,11 +343,23 @@ class Core:
     def end_segment(self) -> int:
         if self._segment is None:
             raise RuntimeError(f"core {self.id}: end_segment without begin")
-        mode, start, _thread, _stall = self._segment
+        mode, start, thread, _stall = self._segment
         self._segment = None
         elapsed = self.env.now - start
         self.kernel.accounting.add(self.id, mode, elapsed)
+        self._trace_segment(mode, start, thread, elapsed)
         return elapsed
+
+    def _trace_segment(
+        self, mode: str, start: int, thread: Optional[Thread], elapsed: float
+    ) -> None:
+        tracer = self.kernel.tracer
+        if not tracer.enabled or elapsed <= 0:
+            return
+        tracer.span(
+            mode, "segment", self.id, start, self.env.now,
+            args={"thread": thread.name} if thread is not None else None,
+        )
 
     def finalize(self) -> None:
         """Close the in-flight segment at the end of the measured horizon."""
@@ -341,6 +369,7 @@ class Core:
         self._segment = None
         elapsed = self.env.now - start
         self.kernel.accounting.add(self.id, mode, elapsed)
+        self._trace_segment(mode, start, thread, elapsed)
         if thread is not None and mode in (acct.USER, acct.KERNEL):
             productive = max(0.0, elapsed - stall)
             thread.productive_ns += productive

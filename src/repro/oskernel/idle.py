@@ -74,6 +74,10 @@ class IdleThread(Thread):
             if cstate.flush_caches_on_entry:
                 core.uarch.flush_for_deep_sleep()
             core.sleep_state = SLEEPING
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.instant("cc6.enter", "cstate", core.id, self.env.now)
+                tracer.metrics.counter("cc6.entries").inc()
 
             core.begin_segment(acct.CC6, self, 0.0)
             self.interruptible = True
@@ -87,6 +91,8 @@ class IdleThread(Thread):
 
             # Exit latency: the wake reason (IRQ/resched) waits this long.
             self.kernel.counters.bump(acct.CTR_CORE_WAKEUP)
+            if tracer.enabled:
+                tracer.instant("cc6.exit", "cstate", core.id, self.env.now)
             core.sleep_state = TRANSITIONING
             core.begin_segment(acct.TRANSITION, self, 0.0)
             yield from self._uninterruptible_delay(cstate.exit_latency_ns)

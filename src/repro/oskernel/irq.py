@@ -136,6 +136,13 @@ class InterruptController:
         core = self.policy.select(self.kernel)
         if irq.is_ssr:
             self.kernel.counters.bump(acct.CTR_SSR_INTERRUPT)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "msi.raise", "irq", core.id, self.kernel.env.now,
+                args={"irq": irq.name, "ssr": irq.is_ssr},
+            )
+            tracer.metrics.counter("msi.raised").inc()
         core.deliver_irq(irq)
         return core
 
@@ -144,6 +151,13 @@ class InterruptController:
         kernel = self.kernel
         os_path = kernel.config.os_path
         kernel.counters.bump(f"{acct.CTR_IPI}:{target_core_id}")
+        tracer = kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "ipi.send", "ipi", target_core_id, kernel.env.now,
+                args={"kind": "resched", "origin": origin_core_id},
+            )
+            tracer.metrics.counter("ipi.sent").inc()
         # The sender's cost of putting the IPI on the wire is part of its
         # already-charged handler time.
         irq = Irq(
@@ -159,6 +173,13 @@ class InterruptController:
         """Wake a sleeping core on behalf of an anonymous context (timers)."""
         kernel = self.kernel
         kernel.counters.bump(f"{acct.CTR_IPI}:{target_core_id}")
+        tracer = kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "ipi.send", "ipi", target_core_id, kernel.env.now,
+                args={"kind": "wake"},
+            )
+            tracer.metrics.counter("ipi.sent").inc()
         irq = Irq(
             name="wake-ipi",
             handler_ns=kernel.config.os_path.ipi_receive_ns,

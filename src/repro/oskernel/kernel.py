@@ -11,6 +11,7 @@ from typing import Dict, Generator, List, Optional
 
 from ..config import SystemConfig
 from ..sim import Environment, RngRegistry
+from ..telemetry import NULL_TRACER
 from . import accounting as acct
 from .accounting import CounterSet, SsrAccounting, TimeAccounting
 from .cpu import Core
@@ -47,10 +48,19 @@ class HousekeepingDaemon(Thread):
 class Kernel:
     """The simulated OS instance."""
 
-    def __init__(self, env: Environment, config: SystemConfig, rng: RngRegistry):
+    def __init__(
+        self,
+        env: Environment,
+        config: SystemConfig,
+        rng: RngRegistry,
+        tracer=None,
+    ):
         self.env = env
         self.config = config
         self.rng = rng
+        #: Telemetry sink shared by every layer (no-op unless tracing is on).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        env.tracer = self.tracer
 
         self.accounting = TimeAccounting(config.cpu.num_cores)
         self.ssr_accounting = SsrAccounting()

@@ -60,13 +60,27 @@ class KWorker(Thread):
 
     def body(self) -> Generator:
         kernel = self.kernel
+        tracer = kernel.tracer
         while True:
             item = yield from self.wait(self.queue.get())
             if item.is_ssr and kernel.qos_governor is not None:
                 yield from kernel.qos_governor.gate(self)
             if item.on_start is not None:
                 item.on_start(kernel)
+            service_start = self.env.now
             yield from self.run_for(item.service_ns)
+            if tracer.enabled:
+                core_id = self.core.id if self.core is not None else self.pinned_core
+                tracer.span(
+                    "kworker.service", "work", core_id,
+                    service_start, self.env.now,
+                    args={"item": item.name, "ssr": item.is_ssr,
+                          "queue_wait_ns": service_start - item.enqueued_at},
+                )
+                tracer.metrics.counter("wq.items").inc()
+                tracer.metrics.histogram("wq.queue_wait_ns").record(
+                    max(0.0, service_start - item.enqueued_at)
+                )
             if item.is_ssr:
                 kernel.ssr_accounting.add(item.service_ns)
             if item.footprint is not None and self.core is not None:
@@ -113,6 +127,13 @@ class WorkQueues:
         # every-nanosecond-accounted invariant).
         if item.is_ssr:
             self.kernel.ssr_accounting.add(self.kernel.config.os_path.queue_work_ns)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "work.enqueue", "work", target, self.kernel.env.now,
+                args={"item": item.name, "origin": origin_core_id,
+                      "backlog": self.backlog(target)},
+            )
         accepted = self._queues[target].try_put(item)
         if not accepted:  # pragma: no cover - stores are unbounded
             raise RuntimeError("work queue rejected an item")

@@ -51,6 +51,16 @@ class AdaptiveQosGovernor(QosGovernor):
             self.idle_share = alpha * idle_now + (1.0 - alpha) * self.idle_share
             self.effective_threshold = floor + self.idle_share * (1.0 - floor)
             self.over_threshold = self.current_fraction > self.effective_threshold
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                now = self.kernel.env.now
+                tracer.counter_sample(
+                    "qos.ssr_fraction", "qos", now, round(self.current_fraction, 6)
+                )
+                tracer.counter_sample(
+                    "qos.effective_threshold", "qos", now,
+                    round(self.effective_threshold, 6),
+                )
 
     @staticmethod
     def _core_is_idle(core) -> bool:

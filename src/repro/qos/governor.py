@@ -56,7 +56,20 @@ class QosGovernor:
             self.current_fraction = (
                 alpha * sample + (1.0 - alpha) * self.current_fraction
             )
+            was_over = self.over_threshold
             self.over_threshold = self.current_fraction > self.config.ssr_time_threshold
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.counter_sample(
+                    "qos.ssr_fraction", "qos", self.kernel.env.now,
+                    round(self.current_fraction, 6),
+                )
+                if was_over != self.over_threshold:
+                    tracer.instant(
+                        "qos.threshold_crossed", "qos", "qos", self.kernel.env.now,
+                        args={"over": self.over_threshold,
+                              "fraction": self.current_fraction},
+                    )
 
     def gate(self, worker: "Thread") -> Generator:
         """Run by a kworker before servicing an SSR item (Figure 11).
@@ -76,4 +89,13 @@ class QosGovernor:
         self.total_delay_ns += self.delay_ns
         if self.delay_ns > self.max_delay_ns_seen:
             self.max_delay_ns_seen = self.delay_ns
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "qos.backoff", "qos", "qos", self.kernel.env.now,
+                args={"delay_ns": self.delay_ns, "worker": worker.name,
+                      "fraction": self.current_fraction},
+            )
+            tracer.metrics.counter("qos.backoffs").inc()
+            tracer.metrics.histogram("qos.delay_ns").record(self.delay_ns)
         yield from worker.sleep(self.delay_ns)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from ..telemetry import NULL_TRACER
 from .events import NORMAL, AllOf, AnyOf, Event, Timeout
 
 
@@ -25,6 +26,8 @@ class Environment:
         self._now = initial_time
         self._queue: List[Tuple[Any, int, int, Event]] = []
         self._eid = 0
+        #: Telemetry sink (never affects scheduling; NULL_TRACER is a no-op).
+        self.tracer = NULL_TRACER
 
     @property
     def now(self):
@@ -101,12 +104,18 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        start = self._now
         while self._queue:
             if until is not None and self._queue[0][0] > until:
                 break
             self.step()
         if until is not None and self._now < until:
             self._now = until
+        if self.tracer.enabled:
+            self.tracer.span(
+                "sim.run", "sim", "sim", start, self._now,
+                args={"events_pending": len(self._queue)},
+            )
 
     def run_until_event(self, event: Event, limit=None) -> Any:
         """Run until ``event`` is processed; return its value.

@@ -1,0 +1,50 @@
+"""Structured telemetry for the HISS simulator.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.telemetry.tracer` — a zero-cost-when-disabled event tracer
+  recording spans/instants keyed by core (or device track) and sim-time
+  into a bounded ring buffer.
+* :mod:`repro.telemetry.metrics` — counters and fixed-bucket latency
+  histograms (p50/p95/p99/max) for end-of-run aggregates.
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto / ``chrome://tracing``) and aligned-text timeline summaries,
+  surfaced via the ``hiss-trace`` CLI and ``hiss-experiments --trace``.
+
+This package sits *below* the simulation layers (it imports nothing from
+them), so every layer can hold a tracer reference without import cycles.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_active_tracer,
+    set_active_tracer,
+)
+from .export import (
+    chrome_trace_dict,
+    render_timeline,
+    timeline_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_dict",
+    "get_active_tracer",
+    "render_timeline",
+    "set_active_tracer",
+    "timeline_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

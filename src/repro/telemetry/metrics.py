@@ -1,0 +1,179 @@
+"""Counters and fixed-bucket latency histograms.
+
+The simulator's legacy aggregates (``repro.core.tracing``) reported only
+mean/max per stage; tail latency is where SSR interference actually lives
+(a single kworker scheduling delay behind a busy CPU app is invisible in
+the mean).  :class:`Histogram` keeps geometrically spaced buckets so p50 /
+p95 / p99 come out of a run at O(1) memory, with *exact* min / max / mean
+alongside the bucketed quantiles.
+
+Everything here is pure bookkeeping: recording never touches the
+simulation clock or event heap, so metrics can be collected without
+perturbing a deterministic run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+#: Default bucket range: 10 ns .. 10 s, ~12% relative quantile error.
+DEFAULT_LOW = 10.0
+DEFAULT_HIGH = 1e10
+DEFAULT_GROWTH = 1.25
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with exact min/max/mean.
+
+    Buckets are geometric: bucket ``i`` covers ``(edge[i-1], edge[i]]``
+    with ``edge[i] = low * growth**i``; one underflow and one overflow
+    bucket bound the range.  Quantiles interpolate linearly inside the
+    landing bucket and are clamped to the observed ``[min, max]``, so the
+    worst-case quantile error is one bucket's width (~``growth - 1``
+    relative).
+    """
+
+    __slots__ = ("name", "_edges", "_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str = "",
+        low: float = DEFAULT_LOW,
+        high: float = DEFAULT_HIGH,
+        growth: float = DEFAULT_GROWTH,
+    ):
+        if low <= 0 or high <= low or growth <= 1.0:
+            raise ValueError(f"bad histogram shape low={low} high={high} growth={growth}")
+        self.name = name
+        edges: List[float] = [low]
+        while edges[-1] < high:
+            edges.append(edges[-1] * growth)
+        self._edges = edges
+        self._counts = [0] * (len(edges) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative sample {value}")
+        self._counts[bisect_left(self._edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (0..1), interpolated within-bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self._edges[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._edges[index]
+                    if index < len(self._edges)
+                    else (self.max if self.max is not None else lower)
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                # Clamp to the observed range (0 is a valid min/max).
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+        return self.max if self.max is not None else 0.0  # pragma: no cover
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict (the exporters embed this in trace metadata)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            **self.percentiles(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class MetricsRegistry:
+    """Create-on-demand registry of named counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, **kwargs)
+        return histogram
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict summary of every metric (JSON-serializable)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+        }

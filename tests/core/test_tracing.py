@@ -83,3 +83,34 @@ class TestBreakdown:
         request.stages = {"submitted": 0, "completed": 100}
         breakdown = {s.name: s for s in latency_breakdown([request])}
         assert breakdown["ppr_queue_wait"].samples == 0
+
+
+class TestPercentiles:
+    def test_percentiles_ordered_and_bounded(self, traced_system):
+        breakdown = latency_breakdown(traced_system.iommu.recent_completed)
+        for stage in breakdown:
+            if stage.samples == 0:
+                continue
+            assert stage.p50_ns <= stage.p95_ns <= stage.p99_ns <= stage.max_ns
+        # The service stage always has real latency (>= the service cost).
+        service = next(s for s in breakdown if s.name == "service")
+        assert service.p50_ns > 0
+
+    def test_percentiles_default_to_zero_when_empty(self):
+        for stage in latency_breakdown([]):
+            assert stage.p50_ns == stage.p95_ns == stage.p99_ns == 0.0
+
+    def test_single_sample_percentiles_collapse(self):
+        request = SsrRequest(request_id=1, kind=SSR_CATALOG["signal"], issued_at=0)
+        request.stages = {"service_start": 0, "completed": 4000}
+        breakdown = {s.name: s for s in latency_breakdown([request])}
+        service = breakdown["service"]
+        assert service.p50_ns == service.p95_ns == service.p99_ns == 4000.0
+
+    def test_format_breakdown_appends_percentile_columns(self, traced_system):
+        text = format_breakdown(latency_breakdown(traced_system.iommu.recent_completed))
+        header = text.splitlines()[0]
+        # Legacy columns keep their order; percentiles are appended.
+        assert header.index("mean_us") < header.index("max_us") < header.index(
+            "samples"
+        ) < header.index("p50_us") < header.index("p95_us") < header.index("p99_us")

@@ -1,0 +1,112 @@
+"""Tests for the Chrome-trace exporter, validator, and text timelines."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    chrome_trace_dict,
+    render_timeline,
+    timeline_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def small_tracer():
+    tracer = Tracer()
+    tracer.span("user", "segment", 0, 1000, 3000, args={"thread": "app-0"})
+    tracer.span("cc6", "segment", 1, 0, 5000)
+    tracer.instant("irq.deliver", "irq", 0, 1500, args={"irq": "iommu-ppr"})
+    tracer.instant("ssr.submit", "ssr", "iommu", 100, args={"id": 1})
+    tracer.counter_sample("qos.ssr_fraction", "qos", 2000, 0.25)
+    tracer.metrics.counter("ipi.sent").inc(2)
+    tracer.metrics.histogram("ssr.latency_ns").record(5000.0)
+    return tracer
+
+
+class TestChromeExport:
+    def test_document_shape(self, small_tracer):
+        doc = chrome_trace_dict(small_tracer, label="test")
+        assert doc["displayTimeUnit"] == "ns"
+        assert doc["otherData"]["dropped_events"] == 0
+        assert doc["otherData"]["metrics"]["counters"] == {"ipi.sent": 2}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+
+    def test_timestamps_are_microseconds(self, small_tracer):
+        doc = chrome_trace_dict(small_tracer)
+        span = next(
+            e for e in doc["traceEvents"] if e["ph"] == "X" and e["name"] == "user"
+        )
+        assert span["ts"] == pytest.approx(1.0)
+        assert span["dur"] == pytest.approx(2.0)
+
+    def test_core_tids_stable_named_tracks_offset(self, small_tracer):
+        doc = chrome_trace_dict(small_tracer)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[0] == "core 0"
+        assert names[1] == "core 1"
+        assert any(tid >= 1000 and name == "iommu" for tid, name in names.items())
+
+    def test_validates_and_serializes(self, small_tracer, tmp_path):
+        doc = chrome_trace_dict(small_tracer)
+        assert validate_chrome_trace(doc) == []
+        path = tmp_path / "out.json"
+        write_chrome_trace(small_tracer, str(path))
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": 1}) != []
+
+    def test_rejects_bad_event(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}]}
+        errors = validate_chrome_trace(doc)
+        assert any("dur" in e for e in errors)
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "?", "name": "x", "pid": 0, "tid": 0, "ts": 0}]}
+        assert any("phase" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_negative_ts(self):
+        doc = {"traceEvents": [{"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": -5}]}
+        assert any("ts" in e for e in validate_chrome_trace(doc))
+
+    def test_error_cap(self):
+        doc = {"traceEvents": [{"bad": True}] * 200}
+        errors = validate_chrome_trace(doc)
+        assert errors[-1].startswith("...")
+
+
+class TestTextTimelines:
+    def test_summary_aggregates_span_time(self, small_tracer):
+        text = timeline_summary(small_tracer)
+        assert "core 0" in text and "iommu" in text
+        assert "user" in text and "cc6" in text
+
+    def test_summary_reports_drops(self):
+        tracer = Tracer(capacity=1)
+        tracer.instant("a", "t", 0, 0)
+        tracer.instant("b", "t", 0, 1)
+        assert "dropped 1" in timeline_summary(tracer)
+
+    def test_render_timeline_orders_events(self, small_tracer):
+        text = render_timeline(small_tracer, 0)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline for core 0")
+        assert lines[1].strip().startswith("1.000us")  # the user span at 1us
+
+    def test_render_timeline_limit(self, small_tracer):
+        text = render_timeline(small_tracer, 0, limit=1)
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,114 @@
+"""Integration contracts of the telemetry layer.
+
+* **Zero overhead**: a run with tracing disabled produces metrics
+  identical to a traced run of the same configuration — instrumentation
+  must never schedule events, consume randomness, or shift time.
+* **Determinism**: two traced runs with the same seed produce the same
+  event stream, event for event.
+* **Schema**: the exported Chrome-trace JSON validates and contains span
+  events for every stage of the paper's SSR chain (the acceptance set:
+  thread segment, IRQ top half, bottom-half dispatch, kworker service,
+  CC6 residency interval).
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.telemetry import Tracer, chrome_trace_dict, validate_chrome_trace
+from repro.workloads import gpu_app, parsec
+
+HORIZON_NS = 6_000_000
+
+
+def _run(tracer=None, cpu="blackscholes", gpu="xsbench"):
+    system = System(SystemConfig(), tracer=tracer)
+    if cpu is not None:
+        system.add_cpu_app(parsec(cpu))
+    if gpu is not None:
+        system.add_gpu_workload(gpu_app(gpu))
+    return system.run(HORIZON_NS)
+
+
+class TestZeroOverhead:
+    def test_tracing_does_not_change_metrics(self):
+        baseline = _run(tracer=None)
+        traced = _run(tracer=Tracer())
+        assert traced == baseline  # bit-for-bit: dataclass equality
+
+    def test_null_tracer_records_nothing(self):
+        system = System(SystemConfig())
+        system.add_gpu_workload(gpu_app("xsbench"))
+        system.run(2_000_000)
+        assert len(system.tracer) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_event_stream(self):
+        first, second = Tracer(), Tracer()
+        _run(tracer=first)
+        _run(tracer=second)
+        events_a = list(first.events())
+        events_b = list(second.events())
+        assert len(events_a) == len(events_b)
+        assert events_a == events_b
+
+
+class TestAcceptanceSpans:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = Tracer()
+        # GPU-only: cores idle between fault bursts, so CC6 spans appear.
+        _run(tracer=tracer, cpu=None)
+        return tracer
+
+    def test_all_acceptance_span_kinds_present(self, traced):
+        spans = {e.name for e in traced.events() if e.phase == "X"}
+        assert "user" in spans  # thread segment (gpu host runtime thread)
+        assert "irq" in spans  # IRQ top half
+        assert "iommu.bottom_half" in spans  # bottom-half dispatch
+        assert "kworker.service" in spans  # kworker service
+        assert "cc6" in spans  # CC6 residency interval
+
+    def test_ssr_lifecycle_instants(self, traced):
+        instants = {e.name for e in traced.events() if e.phase == "i"}
+        assert {"ssr.submit", "ssr.complete", "irq.deliver", "msi.raise",
+                "cc6.enter", "cc6.exit"} <= instants
+
+    def test_metrics_registry_populated(self, traced):
+        snapshot = traced.metrics.snapshot()
+        assert snapshot["counters"]["ssr.completed"] > 0
+        latency = snapshot["histograms"]["ssr.latency_ns"]
+        assert latency["count"] > 0
+        assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+    def test_exported_document_validates(self, traced):
+        doc = chrome_trace_dict(traced)
+        assert validate_chrome_trace(doc) == []
+
+    def test_segments_tile_each_core(self, traced):
+        """Per core, segment spans must not overlap (every ns in one bucket)."""
+        by_core = {}
+        for event in traced.events():
+            if event.phase == "X" and event.category == "segment":
+                by_core.setdefault(event.track, []).append(
+                    (event.ts_ns, event.ts_ns + event.dur_ns)
+                )
+        assert by_core, "no segment spans recorded"
+        for core, intervals in by_core.items():
+            intervals.sort()
+            for (_, prev_end), (next_start, _) in zip(intervals, intervals[1:]):
+                assert next_start >= prev_end - 1e-6, f"overlap on core {core}"
+
+
+class TestQosTracing:
+    def test_backoff_events_recorded(self):
+        config = SystemConfig().with_qos(enabled=True, ssr_time_threshold=0.001)
+        tracer = Tracer()
+        system = System(config, tracer=tracer)
+        system.add_gpu_workload(gpu_app("ubench"))
+        system.run(HORIZON_NS)
+        names = {e.name for e in tracer.events()}
+        assert "qos.ssr_fraction" in names  # sampler counter track
+        if system.kernel.qos_governor.throttle_events:
+            assert "qos.backoff" in names

@@ -1,0 +1,106 @@
+"""Unit tests for counters and fixed-bucket histograms."""
+
+import pytest
+
+from repro.telemetry import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        histogram = Histogram("lat")
+        for value in [100.0, 200.0, 300.0]:
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(200.0)
+        assert histogram.min == 100.0
+        assert histogram.max == 300.0
+
+    def test_quantiles_within_bucket_tolerance(self):
+        histogram = Histogram("lat")
+        for value in range(1, 1001):
+            histogram.record(float(value))
+        # Geometric buckets with growth 1.25: ~12% worst-case error.
+        assert histogram.quantile(0.50) == pytest.approx(500.0, rel=0.15)
+        assert histogram.quantile(0.95) == pytest.approx(950.0, rel=0.15)
+        assert histogram.quantile(0.99) == pytest.approx(990.0, rel=0.15)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram("lat")
+        histogram.record(5000.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 5000.0
+
+    def test_empty(self):
+        histogram = Histogram("lat")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_overflow_and_underflow_samples_kept(self):
+        histogram = Histogram("lat", low=10.0, high=100.0)
+        histogram.record(0.0)
+        histogram.record(1e12)
+        assert histogram.count == 2
+        assert histogram.max == 1e12
+        assert histogram.quantile(1.0) == 1e12
+
+    def test_all_zero_samples_quantiles_are_zero(self):
+        # Regression: a max of 0.0 must still clamp (0 is falsy).
+        histogram = Histogram("lat")
+        for _ in range(10):
+            histogram.record(0.0)
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_rejects_negative_sample(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").record(-1.0)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", low=0.0)
+        with pytest.raises(ValueError):
+            Histogram("lat", growth=1.0)
+
+    def test_percentiles_and_snapshot(self):
+        histogram = Histogram("lat")
+        for value in range(1, 101):
+            histogram.record(float(value))
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert snapshot["p50"] <= snapshot["p95"] <= snapshot["p99"] <= snapshot["max"]
+
+
+class TestRegistry:
+    def test_create_on_demand_and_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.histogram("lat").record(42.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"events": 3}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        json.dumps(snapshot)  # must not raise

@@ -1,0 +1,86 @@
+"""Unit tests for the event tracer and the active-tracer plumbing."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_active_tracer,
+    set_active_tracer,
+)
+
+
+class TestTracer:
+    def test_span_and_instant_recorded(self):
+        tracer = Tracer()
+        tracer.span("user", "segment", 0, 100, 250, args={"thread": "t"})
+        tracer.instant("irq.deliver", "irq", 1, 300)
+        events = list(tracer.events())
+        assert len(events) == 2
+        span, instant = events
+        assert span.phase == "X" and span.dur_ns == 150 and span.track == 0
+        assert instant.phase == "i" and instant.ts_ns == 300
+
+    def test_counter_sample(self):
+        tracer = Tracer()
+        tracer.counter_sample("qos.fraction", "qos", 10, 0.5)
+        (event,) = tracer.events()
+        assert event.phase == "C" and event.args == {"value": 0.5}
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Tracer().span("x", "c", 0, 100, 50)
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.instant(f"e{index}", "t", 0, index)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [e.name for e in tracer.events()] == ["e2", "e3", "e4"]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_tracks_cores_first_then_named(self):
+        tracer = Tracer()
+        tracer.instant("a", "t", "iommu", 0)
+        tracer.instant("b", "t", 2, 0)
+        tracer.instant("c", "t", 0, 0)
+        tracer.instant("d", "t", "gpu:ubench", 0)
+        assert tracer.tracks() == [0, 2, "gpu:ubench", "iommu"]
+
+    def test_clear(self):
+        tracer = Tracer(capacity=1)
+        tracer.instant("a", "t", 0, 0)
+        tracer.instant("b", "t", 0, 1)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        null = NullTracer()
+        assert null.enabled is False
+        null.span("x", "c", 0, 0, 10)
+        null.instant("y", "c", 0, 0)
+        null.counter_sample("z", 0, 0, 1.0)
+        assert len(null) == 0
+        assert list(null.events()) == []
+        assert null.tracks() == []
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_active_tracer() is NULL_TRACER
+
+    def test_set_and_reset(self):
+        tracer = Tracer()
+        set_active_tracer(tracer)
+        try:
+            assert get_active_tracer() is tracer
+        finally:
+            set_active_tracer(None)
+        assert get_active_tracer() is NULL_TRACER
