@@ -1,0 +1,134 @@
+"""Record a perf-trajectory snapshot: per-figure wall-clock -> JSON.
+
+Writes ``BENCH_<git-sha>.json`` so the repo accumulates a comparable
+performance history across commits::
+
+    PYTHONPATH=src python benchmarks/record.py                    # full quick set
+    PYTHONPATH=src python benchmarks/record.py --figures fig3a fig4 --jobs 4
+
+Each snapshot records the per-figure wall-clock of a cold run (in-memory
+cache cleared first), the grid/horizon used, and the environment, plus the
+prewarm split when ``--jobs`` enables the parallel engine.  Compare two
+snapshots with a plain diff or jq.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.core import clear_cache, configure_disk_cache, prewarm_experiments
+from repro.experiments import run_experiment
+from repro.experiments.common import QUICK_CPU_NAMES, QUICK_GPU_NAMES, UNPLANNABLE
+from repro.experiments.run_all import DEFAULT_ORDER, _TAKES_CPU, _TAKES_GPU
+
+#: Default simulated horizon for snapshot runs (matches the bench suite).
+DEFAULT_HORIZON_MS = 15.0
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def figure_kwargs(experiment_id: str, horizon_ns: int) -> dict:
+    kwargs = {}
+    if experiment_id in _TAKES_CPU:
+        kwargs["cpu_names"] = QUICK_CPU_NAMES
+    if experiment_id in _TAKES_GPU:
+        kwargs["gpu_names"] = [
+            g for g in QUICK_GPU_NAMES if experiment_id != "fig8" or g != "ubench"
+        ]
+    if experiment_id != "table1":
+        kwargs["horizon_ns"] = horizon_ns
+    return kwargs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figures", nargs="*", default=None,
+        help=f"experiment ids to time (default: {' '.join(DEFAULT_ORDER)})",
+    )
+    parser.add_argument(
+        "--horizon-ms", type=float, default=DEFAULT_HORIZON_MS,
+        help="simulated horizon per run in milliseconds",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan simulations out over N workers first (0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="optional persistent run cache (see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--output-dir", default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "trajectory"),
+        help="directory receiving BENCH_<sha>.json",
+    )
+    args = parser.parse_args(argv)
+
+    figures = args.figures or list(DEFAULT_ORDER)
+    horizon_ns = int(args.horizon_ms * 1_000_000)
+    kwargs_for = lambda eid: figure_kwargs(eid, horizon_ns)  # noqa: E731
+
+    clear_cache()
+    configure_disk_cache(args.cache_dir)
+
+    snapshot = {
+        "sha": git_sha(),
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "horizon_ms": args.horizon_ms,
+        "quick_grid": {"cpu": QUICK_CPU_NAMES, "gpu": QUICK_GPU_NAMES},
+        "figures": {},
+    }
+
+    total_start = time.time()
+    if args.jobs != 1:
+        report = prewarm_experiments(
+            figures, kwargs_for, jobs=args.jobs, unplannable=UNPLANNABLE
+        )
+        snapshot["prewarm"] = {
+            "planned": report.planned,
+            "memory_hits": report.memory_hits,
+            "disk_hits": report.disk_hits,
+            "executed": report.executed,
+            "workers": report.workers,
+            "plan_s": round(report.plan_s, 3),
+            "execute_s": round(report.execute_s, 3),
+        }
+        print(report.summary())
+    for experiment_id in figures:
+        result = run_experiment(experiment_id, **kwargs_for(experiment_id))
+        snapshot["figures"][experiment_id] = round(result.elapsed_s, 3)
+        print(f"{experiment_id}: {result.elapsed_s:.2f}s")
+    snapshot["total_s"] = round(time.time() - total_start, 3)
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    path = os.path.join(args.output_dir, f"BENCH_{snapshot['sha']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path} (total {snapshot['total_s']:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

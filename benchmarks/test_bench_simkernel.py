@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the discrete-event kernel's hot path.
+
+These isolate the costs the experiment figures pay per simulated event:
+the ``Environment.run`` pop/dispatch loop, fast-path ``Timeout``
+scheduling, ``Event.succeed`` triggering, and process resume.  They exist
+to prove (and to keep proving) the event-loop optimizations — run with
+``PYTHONPATH=src python -m pytest benchmarks/test_bench_simkernel.py``.
+"""
+
+from repro.sim import Environment
+
+#: Events per benchmark round — large enough to swamp setup costs.
+N_EVENTS = 20_000
+
+
+def timeout_churn() -> int:
+    """One process sleeping N times: Timeout create + schedule + resume."""
+    env = Environment()
+
+    def sleeper():
+        for _ in range(N_EVENTS):
+            yield env.timeout(3)
+
+    env.process(sleeper())
+    env.run()
+    return env.now
+
+
+def event_ping_pong() -> int:
+    """Two processes signalling each other: succeed + callback dispatch."""
+    env = Environment()
+    box = {"ping": env.event(), "pong": env.event()}
+
+    def pinger():
+        for _ in range(N_EVENTS // 2):
+            box["ping"].succeed()
+            box["pong"] = env.event()
+            yield box["pong"]
+
+    def ponger():
+        for _ in range(N_EVENTS // 2):
+            yield box["ping"]
+            box["ping"] = env.event()
+            box["pong"].succeed()
+
+    env.process(pinger())
+    env.process(ponger())
+    env.run()
+    return env.now
+
+
+def callback_fanout() -> int:
+    """Timers with direct callbacks: the pure pop/dispatch loop."""
+    env = Environment()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    for i in range(N_EVENTS):
+        env.call_later(i, tick)
+    env.run()
+    return counter[0]
+
+
+def test_timeout_churn(benchmark):
+    assert benchmark(timeout_churn) == 3 * N_EVENTS
+
+
+def test_event_ping_pong(benchmark):
+    assert benchmark(event_ping_pong) == 0  # all at t=0
+
+
+def test_callback_fanout(benchmark):
+    assert benchmark(callback_fanout) == N_EVENTS

@@ -9,6 +9,9 @@ Times are integer nanoseconds throughout.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -277,3 +280,49 @@ class SystemConfig:
         if self.qos.enabled:
             return f"{mitigation} + QoS({self.qos.label})"
         return mitigation
+
+    # ------------------------------------------------------------------
+    # Stable hashing (persistent run caching across processes/invocations)
+    # ------------------------------------------------------------------
+    def stable_json(self) -> str:
+        """A canonical JSON rendering of every field of this configuration.
+
+        Key order is sorted and separators are fixed, so two equal configs
+        — in any two Python processes — produce byte-identical strings.
+        Floats round-trip exactly (JSON uses ``repr``-precision).
+        """
+        return json.dumps(
+            dataclasses.asdict(self), sort_keys=True, separators=(",", ":")
+        )
+
+    def stable_digest(self) -> str:
+        """SHA-256 of :meth:`stable_json`: a process-independent identity."""
+        return hashlib.sha256(self.stable_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def schema_digest(cls) -> str:
+        """SHA-256 over the config *schema*: class, field names, and types.
+
+        Adding, removing, renaming, or retyping any field — at any nesting
+        level — changes this digest, which the persistent run cache folds
+        into its code fingerprint so stale results can never be returned
+        against a reshaped configuration space.
+        """
+        digest = hashlib.sha256()
+        seen = set()
+
+        def walk(klass) -> None:
+            if klass in seen:
+                return
+            seen.add(klass)
+            digest.update(klass.__name__.encode("utf-8"))
+            for field_info in dataclasses.fields(klass):
+                digest.update(field_info.name.encode("utf-8"))
+                digest.update(str(field_info.type).encode("utf-8"))
+                if field_info.default_factory is not dataclasses.MISSING and (
+                    dataclasses.is_dataclass(field_info.default_factory)
+                ):
+                    walk(field_info.default_factory)
+
+        walk(cls)
+        return digest.hexdigest()

@@ -6,13 +6,27 @@ Pareto frontiers over mitigations, and projects accelerator-rich SoCs.
 
 from .experiment import (
     clear_cache,
+    configure_disk_cache,
     cpu_mitigation_ratio,
     cpu_relative_performance,
+    get_disk_cache,
     gpu_mitigation_ratio,
     gpu_relative_performance,
+    make_run_key,
+    planning,
     run_workloads,
+    set_disk_cache,
+    simulate_run,
 )
 from .metrics import CpuAppMetrics, GpuMetrics, SystemMetrics, geomean
+from .planner import (
+    PrewarmReport,
+    execute_runs,
+    plan_runs,
+    prewarm_experiments,
+    resolve_jobs,
+)
+from .runcache import DiskCache, RunKey, code_fingerprint, run_key_digest
 from .pareto import ParetoPoint, dominates, frontier_labels, pareto_frontier
 from .projection import ProjectionPoint, project_accelerator_scaling
 from .tracing import (
@@ -27,12 +41,27 @@ from .system import DEFAULT_HORIZON_NS, System
 __all__ = [
     "CpuAppMetrics",
     "DEFAULT_HORIZON_NS",
+    "DiskCache",
     "GpuMetrics",
     "ParetoPoint",
+    "PrewarmReport",
     "ProjectionPoint",
+    "RunKey",
     "System",
     "SystemMetrics",
     "clear_cache",
+    "code_fingerprint",
+    "configure_disk_cache",
+    "execute_runs",
+    "get_disk_cache",
+    "make_run_key",
+    "plan_runs",
+    "planning",
+    "prewarm_experiments",
+    "resolve_jobs",
+    "run_key_digest",
+    "set_disk_cache",
+    "simulate_run",
     "cpu_mitigation_ratio",
     "cpu_relative_performance",
     "dominates",

@@ -9,24 +9,175 @@ applications concurrently and reports performance *relative to a baseline*:
 * ubench "performance": SSR completion rate.
 
 Runs are memoized on ``(cpu, gpu, ssr, config, horizon)`` since every
-figure reuses baselines heavily.
+figure reuses baselines heavily.  The memo table is the first level of a
+two-level cache: an opt-in on-disk store (see :mod:`repro.core.runcache`
+and ``hiss-experiments --cache-dir``) persists runs across invocations,
+content-addressed by a stable key digest plus a code fingerprint.
+
+The module also supports *planning mode* (see :func:`planning`): inside
+the context, :func:`run_workloads` records the run key it was asked for
+and returns a cheap placeholder instead of simulating — this is how the
+parallel engine (:mod:`repro.core.planner`) discovers an experiment's full
+run set up front, so it can dedupe shared baselines across figures and
+fan the unique runs out over a worker pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Set
 
 from ..config import SystemConfig
+from ..oskernel import accounting as acct
 from ..workloads import gpu_app, parsec
-from .metrics import SystemMetrics
+from .metrics import CpuAppMetrics, GpuMetrics, SystemMetrics
+from .runcache import DiskCache, RunKey
 from .system import DEFAULT_HORIZON_NS, System
 
-_CACHE: Dict[Tuple, SystemMetrics] = {}
+_CACHE: Dict[RunKey, SystemMetrics] = {}
+
+#: The second cache level; ``None`` until :func:`set_disk_cache` installs one.
+_DISK_CACHE: Optional[DiskCache] = None
+
+#: While planning, the set collecting every requested run key (else None).
+_PLANNING: Optional[Set[RunKey]] = None
 
 
 def clear_cache() -> None:
-    """Drop memoized runs (tests use this to force re-execution)."""
+    """Drop memoized runs (tests use this to force re-execution).
+
+    Only the in-memory level is dropped; on-disk entries stay valid.
+    """
     _CACHE.clear()
+
+
+def set_disk_cache(cache: Optional[DiskCache]) -> None:
+    """Install (or with ``None`` remove) the process-wide disk cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = cache
+
+
+def get_disk_cache() -> Optional[DiskCache]:
+    return _DISK_CACHE
+
+
+def configure_disk_cache(directory: Optional[str]) -> Optional[DiskCache]:
+    """Point the second cache level at ``directory`` (``None`` disables)."""
+    cache = DiskCache(directory) if directory else None
+    set_disk_cache(cache)
+    return cache
+
+
+def make_run_key(
+    cpu_name: Optional[str],
+    gpu_name: Optional[str],
+    ssr_enabled: bool,
+    config: SystemConfig,
+    horizon_ns: int,
+) -> RunKey:
+    """The canonical memo/cache key of one run request."""
+    return (cpu_name, gpu_name, bool(ssr_enabled), config, horizon_ns)
+
+
+def simulate_run(key: RunKey, tracer=None) -> SystemMetrics:
+    """Build and execute the system described by ``key`` (no caching).
+
+    This is the single simulation entry point shared by the serial path
+    and the pool workers, so a parallel run is the same computation as a
+    serial one — bit for bit.
+    """
+    cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
+    system = System(config, tracer=tracer)
+    if cpu_name is not None:
+        system.add_cpu_app(parsec(cpu_name))
+    if gpu_name is not None:
+        system.add_gpu_workload(gpu_app(gpu_name), ssr_enabled=ssr_enabled)
+    return system.run(horizon_ns)
+
+
+def cache_lookup(key: RunKey) -> Optional[SystemMetrics]:
+    """Consult both cache levels; promotes disk hits into memory."""
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if _DISK_CACHE is not None:
+        metrics = _DISK_CACHE.get(key)
+        if metrics is not None:
+            _CACHE[key] = metrics
+            return metrics
+    return None
+
+
+def cache_store(key: RunKey, metrics: SystemMetrics) -> None:
+    """Record a finished run in both cache levels."""
+    _CACHE[key] = metrics
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.put(key, metrics)
+
+
+@contextmanager
+def planning() -> Iterator[Set[RunKey]]:
+    """Record run keys instead of simulating; yields the collecting set."""
+    global _PLANNING
+    if _PLANNING is not None:
+        raise RuntimeError("planning contexts do not nest")
+    _PLANNING = collected = set()
+    try:
+        yield collected
+    finally:
+        _PLANNING = None
+
+
+def _placeholder_metrics(key: RunKey) -> SystemMetrics:
+    """A benign stand-in returned while planning (never cached).
+
+    Values are positive and self-consistent so the arithmetic downstream
+    of :func:`run_workloads` (ratios, geomeans, balances) runs without
+    dividing by zero; the numbers themselves are meaningless.
+    """
+    cpu_name, gpu_name, _ssr_enabled, config, horizon_ns = key
+    cpu_metrics = None
+    if cpu_name is not None:
+        cpu_metrics = CpuAppMetrics(
+            name=cpu_name,
+            instructions=1e6,
+            productive_ns=float(horizon_ns),
+            pollution_stall_ns=1e3,
+            extra_l1_misses=1.0,
+            extra_mispredicts=1.0,
+            l1_miss_increase=0.01,
+            mispredict_increase=0.01,
+            measured_l1_miss_rate=0.05,
+            measured_mispredict_rate=0.05,
+        )
+    gpu_metrics = None
+    if gpu_name is not None:
+        gpu_metrics = GpuMetrics(
+            name=gpu_name,
+            progress_ns=float(horizon_ns),
+            faults_issued=100,
+            faults_completed=100,
+            stall_ns=1e3,
+            mean_ssr_latency_ns=1e4,
+            max_ssr_latency_ns=1e5,
+        )
+    cores = config.cpu.num_cores
+    return SystemMetrics(
+        horizon_ns=horizon_ns,
+        config_label=config.label,
+        cpu_app=cpu_metrics,
+        gpu=gpu_metrics,
+        cc6_residency=0.5,
+        mode_totals_ns={mode: 1e6 for mode in acct.ALL_MODES},
+        interrupts_per_core=[1] * cores,
+        ipis=1,
+        ssr_interrupts=1,
+        ssr_requests=1,
+        ssr_time_ns=1e3,
+        ssr_completed=1,
+        context_switches=1,
+        core_wakeups=1,
+    )
 
 
 def run_workloads(
@@ -38,17 +189,16 @@ def run_workloads(
 ) -> SystemMetrics:
     """Run one (cpu, gpu) co-execution and return its metrics (memoized)."""
     config = config or SystemConfig()
-    key = (cpu_name, gpu_name, ssr_enabled, config, horizon_ns)
-    cached = _CACHE.get(key)
+    key = make_run_key(cpu_name, gpu_name, ssr_enabled, config, horizon_ns)
+    if _PLANNING is not None:
+        _PLANNING.add(key)
+        cached = _CACHE.get(key)
+        return cached if cached is not None else _placeholder_metrics(key)
+    cached = cache_lookup(key)
     if cached is not None:
         return cached
-    system = System(config)
-    if cpu_name is not None:
-        system.add_cpu_app(parsec(cpu_name))
-    if gpu_name is not None:
-        system.add_gpu_workload(gpu_app(gpu_name), ssr_enabled=ssr_enabled)
-    metrics = system.run(horizon_ns)
-    _CACHE[key] = metrics
+    metrics = simulate_run(key)
+    cache_store(key, metrics)
     return metrics
 
 

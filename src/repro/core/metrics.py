@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,32 @@ class SystemMetrics:
     qos_total_delay_ns: float = 0.0
     #: Per-core mode breakdown (core id -> mode -> ns).
     per_core_modes_ns: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable rendering (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemMetrics":
+        """Rebuild from :meth:`as_dict` output (e.g. parsed back from JSON).
+
+        The round-trip is exact: JSON preserves ints and ``repr``-precision
+        floats, so ``from_dict(json.loads(json.dumps(as_dict())))``
+        compares equal to the original, bit for bit.
+        """
+        payload = dict(data)
+        cpu_app = payload.pop("cpu_app", None)
+        gpu = payload.pop("gpu", None)
+        per_core = payload.pop("per_core_modes_ns", {})
+        return cls(
+            cpu_app=CpuAppMetrics(**cpu_app) if cpu_app is not None else None,
+            gpu=GpuMetrics(**gpu) if gpu is not None else None,
+            # JSON stringifies int dict keys; restore them.
+            per_core_modes_ns={
+                int(core): dict(modes) for core, modes in per_core.items()
+            },
+            **payload,
+        )
 
     @property
     def total_interrupts(self) -> int:

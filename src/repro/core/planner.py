@@ -1,0 +1,229 @@
+"""Parallel experiment engine: plan, dedupe, and fan out simulation runs.
+
+Reproducing the full paper grid executes dozens of independent,
+deterministic ``run_workloads`` simulations.  This module turns that
+serial sweep into a three-phase pipeline:
+
+1. **Plan** — run each experiment harness in *planning mode* (see
+   :func:`repro.core.experiment.planning`): ``run_workloads`` records the
+   run keys it would need and returns placeholders, so planning costs
+   milliseconds.  Keys are deduplicated across experiments — most figures
+   share baselines.
+2. **Execute** — the unique, not-yet-cached keys are simulated on a
+   ``ProcessPoolExecutor``.  Workers run the exact same
+   :func:`~repro.core.experiment.simulate_run` as the serial path, so
+   results are bit-for-bit identical; the parent stores each result in
+   both cache levels as it arrives.
+3. **Replay** — the caller runs the experiments normally; every
+   ``run_workloads`` call is now a cache hit and the harnesses only do
+   table assembly.
+
+When tracing is enabled, each worker records its run into a private
+:class:`~repro.telemetry.Tracer` and ships the events back; the parent
+merges them into its tracer under per-run track names, so one Chrome
+trace shows every simulated run side by side.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import experiment as _experiment
+from .runcache import RunKey
+
+#: Ring capacity of each worker's private tracer (events per run).
+WORKER_TRACE_CAPACITY = 200_000
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: 0 means one worker per CPU core."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs if jobs else (os.cpu_count() or 1)
+
+
+def run_label(key: RunKey) -> str:
+    """A compact, human-readable name for one run (trace track prefix)."""
+    cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
+    parts = [cpu_name or "idle", "x", gpu_name or "nogpu"]
+    label = "".join(parts)
+    if not ssr_enabled:
+        label += "!nossr"
+    config_label = config.label
+    if config_label != "Default":
+        label += f"[{config_label}]"
+    return f"{label}@{horizon_ns / 1e6:g}ms"
+
+
+@dataclass
+class PrewarmReport:
+    """What one plan/execute pass did (the CLI prints this)."""
+
+    experiments: List[str] = field(default_factory=list)
+    unplannable: List[str] = field(default_factory=list)
+    planned: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    plan_s: float = 0.0
+    execute_s: float = 0.0
+
+    def summary(self) -> str:
+        total = self.plan_s + self.execute_s
+        line = (
+            f"planned {self.planned} unique runs for "
+            f"{len(self.experiments)} experiment(s): "
+            f"{self.memory_hits} in memory, {self.disk_hits} from disk cache, "
+            f"{self.executed} executed on {self.workers} worker(s) "
+            f"in {total:.1f}s"
+        )
+        if self.unplannable:
+            line += f" (run serially: {', '.join(self.unplannable)})"
+        return line
+
+
+def plan_runs(
+    experiment_ids: Sequence[str],
+    kwargs_for: Callable[[str], Dict[str, Any]],
+    registry: Optional[Dict[str, Callable]] = None,
+    unplannable: Iterable[str] = (),
+) -> Tuple[List[RunKey], List[str]]:
+    """Collect the deduplicated run keys of ``experiment_ids``, in order.
+
+    ``kwargs_for`` maps an experiment id to the keyword arguments it will
+    later be run with — planning must see the same grid the real run will.
+    Experiments in ``unplannable`` (those that simulate outside
+    ``run_workloads``, e.g. ``table1``) are skipped and reported back.
+    """
+    if registry is None:
+        from ..experiments.common import REGISTRY as registry  # lazy: avoid cycle
+    skip = set(unplannable)
+    ordered: List[RunKey] = []
+    seen = set()
+    skipped: List[str] = []
+    for experiment_id in experiment_ids:
+        if experiment_id in skip:
+            skipped.append(experiment_id)
+            continue
+        fn = registry[experiment_id]
+        with _experiment.planning() as collected:
+            fn(**kwargs_for(experiment_id))
+        # Sets iterate in a hash-seed-dependent order; sort on a stable
+        # rendering so the dispatch order (not the results — those are
+        # order-independent) is reproducible too.
+        stable = lambda key: (  # noqa: E731
+            key[0] or "", key[1] or "", key[2], key[4], key[3].stable_json()
+        )
+        for key in sorted(collected, key=stable):
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+    return ordered, skipped
+
+
+def _worker_run(key: RunKey, trace_capacity: int):
+    """Pool worker: simulate one run; optionally capture its trace."""
+    tracer = None
+    if trace_capacity:
+        from ..telemetry import Tracer
+
+        tracer = Tracer(capacity=trace_capacity)
+    metrics = _experiment.simulate_run(key, tracer=tracer)
+    events = list(tracer.events()) if tracer is not None else None
+    return metrics, events
+
+
+def _merge_worker_trace(tracer, label: str, events) -> None:
+    """Re-emit a worker's events under per-run track names."""
+    from ..telemetry.tracer import TraceEvent
+
+    for event in events:
+        track = event.track
+        track_name = f"core {track}" if isinstance(track, int) else str(track)
+        tracer.emit(
+            TraceEvent(
+                phase=event.phase,
+                name=event.name,
+                category=event.category,
+                track=f"{label} | {track_name}",
+                ts_ns=event.ts_ns,
+                dur_ns=event.dur_ns,
+                args=event.args,
+            )
+        )
+
+
+def execute_runs(
+    keys: Sequence[RunKey],
+    jobs: int,
+    tracer=None,
+    trace_capacity: int = WORKER_TRACE_CAPACITY,
+    report: Optional[PrewarmReport] = None,
+) -> PrewarmReport:
+    """Simulate ``keys`` on a worker pool, filling both cache levels.
+
+    Keys already satisfied by a cache level are not dispatched.  With
+    ``jobs == 1`` the runs execute in-process (no pool), which keeps the
+    serial path free of multiprocessing machinery.
+    """
+    report = report or PrewarmReport()
+    report.workers = resolve_jobs(jobs)
+    start = time.time()
+    pending: List[RunKey] = []
+    for key in keys:
+        if key in _experiment._CACHE:
+            report.memory_hits += 1
+            continue
+        if _experiment.cache_lookup(key) is not None:
+            report.disk_hits += 1
+            continue
+        pending.append(key)
+
+    capture = trace_capacity if tracer is not None and tracer.enabled else 0
+    if report.workers == 1 or len(pending) <= 1:
+        for key in pending:
+            metrics, events = _worker_run(key, capture)
+            _experiment.cache_store(key, metrics)
+            if events:
+                _merge_worker_trace(tracer, run_label(key), events)
+            report.executed += 1
+    else:
+        workers = min(report.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_worker_run, key, capture): key for key in pending
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                metrics, events = future.result()
+                _experiment.cache_store(key, metrics)
+                if events:
+                    _merge_worker_trace(tracer, run_label(key), events)
+                report.executed += 1
+    report.execute_s = time.time() - start
+    return report
+
+
+def prewarm_experiments(
+    experiment_ids: Sequence[str],
+    kwargs_for: Callable[[str], Dict[str, Any]],
+    jobs: int,
+    tracer=None,
+    registry: Optional[Dict[str, Callable]] = None,
+    unplannable: Iterable[str] = (),
+) -> PrewarmReport:
+    """Plan + execute: after this, running the experiments is cache-only."""
+    report = PrewarmReport(experiments=list(experiment_ids))
+    start = time.time()
+    keys, skipped = plan_runs(
+        experiment_ids, kwargs_for, registry=registry, unplannable=unplannable
+    )
+    report.plan_s = time.time() - start
+    report.planned = len(keys)
+    report.unplannable = skipped
+    return execute_runs(keys, jobs, tracer=tracer, report=report)

@@ -64,6 +64,7 @@ class ExperimentResult:
             "columns": list(self.columns),
             "rows": [list(row) for row in self.rows],
             "notes": self.notes,
+            "elapsed_s": self.elapsed_s,
         }
 
     def render(self) -> str:
@@ -93,14 +94,25 @@ class ExperimentResult:
 #: The experiment registry: id -> callable(**kwargs) -> ExperimentResult.
 REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
 
+#: Experiments the parallel planner must not pre-plan: they simulate
+#: outside ``run_workloads`` (directly through System), so planning-mode
+#: recording cannot see — or would actually execute — their runs.
+UNPLANNABLE: set = set()
 
-def register(experiment_id: str) -> Callable:
-    """Decorator: add an experiment function to the registry."""
+
+def register(experiment_id: str, plannable: bool = True) -> Callable:
+    """Decorator: add an experiment function to the registry.
+
+    ``plannable=False`` marks experiments whose simulations bypass
+    ``run_workloads``; the parallel engine leaves them to the serial pass.
+    """
 
     def decorator(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         if experiment_id in REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         REGISTRY[experiment_id] = fn
+        if not plannable:
+            UNPLANNABLE.add(experiment_id)
         return fn
 
     return decorator

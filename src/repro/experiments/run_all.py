@@ -9,6 +9,13 @@ Usage::
 
 ``--quick`` trims the workload grid (6 CPU apps, 4 GPU apps) for a fast
 smoke pass; the full grid reproduces every bar the paper plots.
+
+``--jobs N`` fans the simulations out over N worker processes (0 = one
+per CPU core; default 1 = serial).  Results are bit-for-bit identical to
+a serial run — the simulator is deterministic and workers execute the
+exact same code.  ``--cache-dir DIR`` adds a persistent result cache so
+repeated invocations skip already-simulated runs; entries are invalidated
+automatically when the simulator's code changes.  See docs/performance.md.
 """
 
 from __future__ import annotations
@@ -34,7 +41,13 @@ from . import (  # noqa: F401
     sweeps,
     table1_ssr_complexity,
 )
-from .common import QUICK_CPU_NAMES, QUICK_GPU_NAMES, REGISTRY, run_experiment
+from .common import (
+    QUICK_CPU_NAMES,
+    QUICK_GPU_NAMES,
+    REGISTRY,
+    UNPLANNABLE,
+    run_experiment,
+)
 
 #: Experiments that accept workload-list arguments.
 _TAKES_CPU = {
@@ -113,6 +126,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-capacity", type=int, default=2_000_000,
         help="trace ring-buffer size in events (oldest dropped beyond this)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate runs on N worker processes (0 = one per CPU core; "
+        "default 1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist simulated runs under DIR and reuse them across "
+        "invocations (auto-invalidated when the simulator changes)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -139,8 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = Tracer(capacity=args.trace_capacity)
         set_active_tracer(tracer)
 
-    results = []
-    for experiment_id in targets:
+    if args.cache_dir:
+        from ..core import configure_disk_cache
+
+        configure_disk_cache(args.cache_dir)
+
+    def experiment_kwargs(experiment_id: str) -> dict:
         kwargs = {}
         if args.quick:
             if experiment_id in _TAKES_CPU:
@@ -151,7 +178,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ]
         if args.horizon_ms is not None and experiment_id != "table1":
             kwargs["horizon_ns"] = int(args.horizon_ms * 1_000_000)
-        result = run_experiment(experiment_id, **kwargs)
+        return kwargs
+
+    if args.jobs != 1:
+        from ..core import prewarm_experiments
+
+        report = prewarm_experiments(
+            targets,
+            experiment_kwargs,
+            jobs=args.jobs,
+            tracer=tracer,
+            unplannable=UNPLANNABLE,
+        )
+        print(report.summary())
+        print()
+
+    results = []
+    for experiment_id in targets:
+        result = run_experiment(experiment_id, **experiment_kwargs(experiment_id))
         results.append(result)
         print(result.render())
         print(f"[{experiment_id} finished in {result.elapsed_s:.1f}s]\n")
@@ -164,6 +208,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.markdown, "w") as handle:
             handle.write(render_markdown(results))
         print(f"wrote {args.markdown}")
+    if args.cache_dir:
+        from ..core import get_disk_cache
+
+        cache = get_disk_cache()
+        print(
+            f"cache {cache.directory}: {cache.hits} hits, {cache.misses} misses, "
+            f"{cache.stores} stored this run, {len(cache)} entries on disk"
+        )
     if tracer is not None:
         from ..telemetry import set_active_tracer, write_chrome_trace
 

@@ -50,7 +50,7 @@ def _measure_kind(kind_name: str, config: SystemConfig) -> float:
     return system.iommu.latency.mean_ns / 1_000.0
 
 
-@register("table1")
+@register("table1", plannable=False)  # probes Systems directly, not run_workloads
 def run(config: Optional[SystemConfig] = None) -> ExperimentResult:
     config = config or SystemConfig()
     result = ExperimentResult(

@@ -101,14 +101,34 @@ class Environment:
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         on return, even if no event lands on that instant.
+
+        This is the simulator's hottest loop, so :meth:`step` is inlined
+        here with the heap, pop, and bound checks held in locals — the
+        behaviour is identical, event for event.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         start = self._now
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            while queue:
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+        else:
+            while queue and queue[0][0] <= until:
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
         if until is not None and self._now < until:
             self._now = until
         if self.tracer.enabled:

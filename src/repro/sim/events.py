@@ -11,6 +11,7 @@ itself only requires a comparable, addable number type).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 #: Sentinel for "event has not been triggered yet".
@@ -86,7 +87,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0, priority=priority)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, priority, eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -97,7 +100,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=0, priority=priority)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, priority, eid, self))
         return self
 
     def defuse(self) -> None:
@@ -121,11 +126,14 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, NORMAL, eid, self))
 
 
 class AnyOf(Event):
@@ -149,9 +157,12 @@ class AnyOf(Event):
                     event.defuse()
                 if not self.triggered:
                     self.succeed(event)
-            else:
+            elif not self.triggered:
                 # Not processed yet (even if already triggered, its callbacks
-                # run at its scheduled time, e.g. a Timeout's expiry).
+                # run at its scheduled time, e.g. a Timeout's expiry).  Once
+                # the condition has fired there is no point subscribing to
+                # the remaining events: on long-lived events the callbacks
+                # would pile up and slow every later dispatch.
                 event.callbacks.append(self._on_trigger)
 
     def _on_trigger(self, event: Event) -> None:
@@ -159,6 +170,14 @@ class AnyOf(Event):
             event.defuse()
         if not self.triggered:
             self.succeed(event)
+            # Detach from the still-pending siblings; a long-lived event
+            # should not accumulate dead condition callbacks.
+            for other in self.events:
+                if other is not event and other.callbacks is not None:
+                    try:
+                        other.callbacks.remove(self._on_trigger)
+                    except ValueError:
+                        pass
 
 
 class AllOf(Event):

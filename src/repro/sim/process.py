@@ -85,12 +85,13 @@ class Process(Event):
 
     def _advance(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
         """Drive the generator until it suspends on a pending event or ends."""
+        generator = self._generator
         while True:
             try:
                 if throw is not None:
-                    target = self._generator.throw(throw)
+                    target = generator.throw(throw)
                 else:
-                    target = self._generator.send(send)
+                    target = generator.send(send)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value

@@ -111,6 +111,10 @@ class Tracer:
             TraceEvent(PHASE_COUNTER, name, "counter", track, ts_ns, 0.0, {"value": value})
         )
 
+    def emit(self, event: TraceEvent) -> None:
+        """Append an already-built event (merging another tracer's stream)."""
+        self._append(event)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -153,6 +157,9 @@ class NullTracer:
         pass
 
     def counter_sample(self, *args, **kwargs) -> None:
+        pass
+
+    def emit(self, *args, **kwargs) -> None:
         pass
 
     def __len__(self) -> int:

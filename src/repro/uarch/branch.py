@@ -60,28 +60,33 @@ class GShareBranchPredictor:
 
     def execute(self, pc: int, taken: bool, owner: str) -> bool:
         """Predict and train on one branch; returns True if predicted right."""
-        index = self._index(pc)
-        counter = self._table[index]
+        history = self._history
+        index = ((pc >> 2) ^ history) % self.table_size
+        table = self._table
+        counter = table[index]
         prediction = counter >= WEAK_TAKEN
         correct = prediction == taken
 
-        self.stats.predictions[owner] += 1
+        stats = self.stats
+        stats.predictions[owner] += 1
         if not correct:
-            self.stats.mispredictions[owner] += 1
+            stats.mispredictions[owner] += 1
 
         # Train the 2-bit counter.
-        if taken and counter < STRONG_TAKEN:
-            self._table[index] = counter + 1
-        elif not taken and counter > STRONG_NOT_TAKEN:
-            self._table[index] = counter - 1
+        if taken:
+            if counter < STRONG_TAKEN:
+                table[index] = counter + 1
+        elif counter > STRONG_NOT_TAKEN:
+            table[index] = counter - 1
 
-        previous_owner = self._owners[index]
+        owners = self._owners
+        previous_owner = owners[index]
         if previous_owner is not None and previous_owner != owner:
-            self.stats.entries_disturbed[(owner, previous_owner)] += 1
-        self._owners[index] = owner
+            stats.entries_disturbed[(owner, previous_owner)] += 1
+        owners[index] = owner
 
         # Update global history.
-        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self._history = ((history << 1) | int(taken)) & self._history_mask
         return correct
 
     def owned_entries(self, owner: str) -> int:

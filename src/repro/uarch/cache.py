@@ -54,6 +54,7 @@ class SetAssociativeCache:
         self.num_sets = num_sets
         self.ways = ways
         self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
         # Each set maps tag -> [owner, lru_stamp]; small dicts keep lookup O(1).
         self._sets: List[Dict[int, List]] = [dict() for _ in range(num_sets)]
         self._clock = 0
@@ -87,26 +88,37 @@ class SetAssociativeCache:
         belonging to a *different* owner is evicted, the disturbance is
         recorded in :attr:`stats`.
         """
-        self._clock += 1
-        index, tag = self._index_tag(address)
-        cache_set = self._sets[index]
+        self._clock = clock = self._clock + 1
+        line = address >> self._line_shift
+        num_sets = self.num_sets
+        cache_set = self._sets[line % num_sets]
+        tag = line // num_sets
         entry = cache_set.get(tag)
+        stats = self.stats
         if entry is not None:
-            entry[1] = self._clock
-            self.stats.hits[owner] += 1
+            entry[1] = clock
+            stats.hits[owner] += 1
             # A line can be re-claimed by a new owner (shared address space
             # is not modeled; same tag => same owner in practice).
             return True
 
-        self.stats.misses[owner] += 1
+        stats.misses[owner] += 1
         if len(cache_set) >= self.ways:
-            victim_tag = min(cache_set, key=lambda t: cache_set[t][1])
-            victim_owner = cache_set[victim_tag][0]
+            # True-LRU victim: the first entry carrying the minimal stamp
+            # (stamps are unique, so the scan picks the one oldest line).
+            victim_tag = victim_owner = None
+            victim_stamp = clock
+            for candidate_tag, candidate in cache_set.items():
+                stamp = candidate[1]
+                if stamp < victim_stamp:
+                    victim_stamp = stamp
+                    victim_tag = candidate_tag
+                    victim_owner = candidate[0]
             del cache_set[victim_tag]
             self._occupancy[victim_owner] -= 1
-            self.stats.evictions_suffered[victim_owner] += 1
-            self.stats.evictions_caused[(owner, victim_owner)] += 1
-        cache_set[tag] = [owner, self._clock]
+            stats.evictions_suffered[victim_owner] += 1
+            stats.evictions_caused[(owner, victim_owner)] += 1
+        cache_set[tag] = [owner, clock]
         self._occupancy[owner] += 1
         return False
 

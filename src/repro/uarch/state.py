@@ -18,6 +18,7 @@ from .cache import SetAssociativeCache
 from .streams import (
     AddressStreamSpec,
     BranchStreamSpec,
+    _randbelow,
     generate_addresses,
     generate_branches,
 )
@@ -75,14 +76,33 @@ class CoreUarchState:
         accesses: int,
         branches: int,
     ) -> Tuple[int, int]:
-        """Run a sampled user window; returns (misses, mispredicts)."""
+        """Run a sampled user window; returns (misses, mispredicts).
+
+        The loops below are :func:`~repro.uarch.streams.generate_addresses`
+        and :func:`~repro.uarch.streams.generate_branches` fused inline —
+        same draws in the same order from the same RNG, without paying a
+        generator resume per access on the simulator's hottest path.
+        """
+        rng = self._rng
+        random = rng.random
+        randbelow = _randbelow(rng)
+        access = self.l1d.access
+        hot_lines = max(1, int(addr_spec.lines * addr_spec.hot_fraction))
+        base, lines = addr_spec.base, addr_spec.lines
+        hot_rate, line_size = addr_spec.hot_rate, addr_spec.line_size
         misses = 0
-        for address in generate_addresses(addr_spec, accesses, self._rng):
-            if not self.l1d.access(address, owner):
+        for _ in range(accesses):
+            line = randbelow(hot_lines) if random() < hot_rate else randbelow(lines)
+            if not access(base + line * line_size, owner):
                 misses += 1
+        execute = self.predictor.execute
+        base_pc, sites, bias = branch_spec.base_pc, branch_spec.sites, branch_spec.bias
         mispredicts = 0
-        for pc, taken in generate_branches(branch_spec, branches, self._rng):
-            if not self.predictor.execute(pc, taken, owner):
+        for _ in range(branches):
+            site = randbelow(sites)
+            majority = (site & 1) == 0
+            taken = majority if random() < bias else not majority
+            if not execute(base_pc + site * 4, taken, owner):
                 mispredicts += 1
         return misses, mispredicts
 
@@ -104,10 +124,24 @@ class CoreUarchState:
         evictions_before = dict(cache_stats.evictions_caused)
         retrains_before = dict(branch_stats.entries_disturbed)
 
-        for address in generate_addresses(addr_spec, accesses, self._rng):
-            self.l1d.access(address, KERNEL_OWNER)
-        for pc, taken in generate_branches(branch_spec, branches, self._rng):
-            self.predictor.execute(pc, taken, KERNEL_OWNER)
+        # Same fused stream loops as run_user_window (identical RNG order).
+        rng = self._rng
+        random = rng.random
+        randbelow = _randbelow(rng)
+        access = self.l1d.access
+        hot_lines = max(1, int(addr_spec.lines * addr_spec.hot_fraction))
+        base, lines = addr_spec.base, addr_spec.lines
+        hot_rate, line_size = addr_spec.hot_rate, addr_spec.line_size
+        for _ in range(accesses):
+            line = randbelow(hot_lines) if random() < hot_rate else randbelow(lines)
+            access(base + line * line_size, KERNEL_OWNER)
+        execute = self.predictor.execute
+        base_pc, sites, bias = branch_spec.base_pc, branch_spec.sites, branch_spec.bias
+        for _ in range(branches):
+            site = randbelow(sites)
+            majority = (site & 1) == 0
+            taken = majority if random() < bias else not majority
+            execute(base_pc + site * 4, taken, KERNEL_OWNER)
 
         disturbances: Dict[str, Disturbance] = {}
         for (source, victim), count in cache_stats.evictions_caused.items():

@@ -64,26 +64,39 @@ class BranchStreamSpec:
             raise ValueError(f"bias must be in [0.5, 1.0], got {self.bias}")
 
 
+def _randbelow(rng: Random):
+    """The cheapest draw equivalent to ``rng.randrange(n)`` for int n > 0.
+
+    ``Random.randrange(n)`` is a thin argument-checking wrapper around
+    ``Random._randbelow(n)``; calling the latter directly consumes the
+    exact same bits from the generator, so streams are unchanged.
+    """
+    return getattr(rng, "_randbelow", rng.randrange)
+
+
 def generate_addresses(spec: AddressStreamSpec, count: int, rng: Random) -> Iterator[int]:
     """Yield ``count`` byte addresses drawn from ``spec``'s distribution."""
     hot_lines = max(1, int(spec.lines * spec.hot_fraction))
+    random = rng.random
+    randbelow = _randbelow(rng)
+    base, lines, hot_rate, line_size = spec.base, spec.lines, spec.hot_rate, spec.line_size
     for _ in range(count):
-        if rng.random() < spec.hot_rate:
-            line = rng.randrange(hot_lines)
-        else:
-            line = rng.randrange(spec.lines)
-        yield spec.base + line * spec.line_size
+        line = randbelow(hot_lines) if random() < hot_rate else randbelow(lines)
+        yield base + line * line_size
 
 
 def generate_branches(
     spec: BranchStreamSpec, count: int, rng: Random
 ) -> Iterator[Tuple[int, bool]]:
     """Yield ``count`` ``(pc, taken)`` pairs drawn from ``spec``."""
+    random = rng.random
+    randbelow = _randbelow(rng)
+    base_pc, sites, bias = spec.base_pc, spec.sites, spec.bias
     for _ in range(count):
-        site = rng.randrange(spec.sites)
-        pc = spec.base_pc + site * 4
+        site = randbelow(sites)
+        pc = base_pc + site * 4
         majority = (site & 1) == 0
-        taken = majority if rng.random() < spec.bias else not majority
+        taken = majority if random() < bias else not majority
         yield pc, taken
 
 
