@@ -26,7 +26,13 @@ from .planner import (
     prewarm_experiments,
     resolve_jobs,
 )
-from .runcache import DiskCache, RunKey, code_fingerprint, run_key_digest
+from .runcache import (
+    DiskCache,
+    RunKey,
+    code_fingerprint,
+    reset_code_fingerprint,
+    run_key_digest,
+)
 from .pareto import ParetoPoint, dominates, frontier_labels, pareto_frontier
 from .projection import ProjectionPoint, project_accelerator_scaling
 from .tracing import (
@@ -58,6 +64,7 @@ __all__ = [
     "plan_runs",
     "planning",
     "prewarm_experiments",
+    "reset_code_fingerprint",
     "resolve_jobs",
     "run_key_digest",
     "set_disk_cache",

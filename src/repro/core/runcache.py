@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict
 from functools import lru_cache
 from typing import Optional, Tuple
@@ -86,6 +87,16 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
+def reset_code_fingerprint() -> None:
+    """Forget the memoized :func:`code_fingerprint`.
+
+    A long-lived process (the ``hiss-serve`` daemon) that reloads simulator
+    code must call this so subsequent digests reflect the new sources;
+    otherwise the ``lru_cache`` would keep vouching for stale entries.
+    """
+    code_fingerprint.cache_clear()
+
+
 def run_key_document(key: RunKey, fingerprint: Optional[str] = None) -> dict:
     """The canonical JSON-able description of one run request."""
     cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
@@ -113,16 +124,23 @@ class DiskCache:
     Because the digest folds in the code fingerprint, entries written by an
     older simulator simply never match again — invalidation needs no
     bookkeeping.  ``hits`` / ``misses`` / ``stores`` count this instance's
-    traffic (the CLI reports them).
+    traffic (the CLI reports them); they are updated under a lock because
+    the serving daemon consults one instance from many request threads.
     """
 
     def __init__(self, directory: str, fingerprint: Optional[str] = None):
         self.directory = os.path.abspath(directory)
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
         os.makedirs(self.directory, exist_ok=True)
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """A consistent ``(hits, misses, stores)`` snapshot."""
+        with self._stats_lock:
+            return self.hits, self.misses, self.stores
 
     def path_for(self, key: RunKey) -> str:
         return os.path.join(
@@ -141,13 +159,16 @@ class DiskCache:
                 raise ValueError("fingerprint mismatch")
             metrics = SystemMetrics.from_dict(entry["metrics"])
         except FileNotFoundError:
-            self.misses += 1
+            with self._stats_lock:
+                self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupt or foreign entry: treat as a miss, re-simulate.
-            self.misses += 1
+            with self._stats_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._stats_lock:
+            self.hits += 1
         return metrics
 
     def put(self, key: RunKey, metrics: SystemMetrics) -> str:
@@ -168,7 +189,8 @@ class DiskCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._stats_lock:
+            self.stores += 1
         return path
 
     def __len__(self) -> int:

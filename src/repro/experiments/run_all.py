@@ -87,6 +87,40 @@ EXTENSION_ORDER = [
 ]
 
 
+def listed_experiments() -> List[str]:
+    """Every registered experiment id, in execution order.
+
+    Derived from ``REGISTRY`` — the curated orders come first, then any
+    registered experiment they missed (sorted) — so registering an
+    experiment without updating an order list can never make it invisible
+    to ``--list`` or to the serving API.
+    """
+    curated = [e for e in DEFAULT_ORDER + EXTENSION_ORDER if e in REGISTRY]
+    stragglers = sorted(set(REGISTRY) - set(curated))
+    return curated + stragglers
+
+
+def experiment_kwargs(
+    experiment_id: str, quick: bool = False, horizon_ms: Optional[float] = None
+) -> dict:
+    """The kwargs one experiment runs with under the given CLI options.
+
+    Shared by the CLI and the serving daemon (``repro.service``) so a job
+    submitted over HTTP sees exactly the grid ``hiss-experiments`` would.
+    """
+    kwargs: dict = {}
+    if quick:
+        if experiment_id in _TAKES_CPU:
+            kwargs["cpu_names"] = QUICK_CPU_NAMES
+        if experiment_id in _TAKES_GPU:
+            kwargs["gpu_names"] = [
+                g for g in QUICK_GPU_NAMES if experiment_id != "fig8" or g != "ubench"
+            ]
+    if horizon_ms is not None and experiment_id != "table1":
+        kwargs["horizon_ns"] = int(horizon_ms * 1_000_000)
+    return kwargs
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="hiss-experiments",
@@ -139,8 +173,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for experiment_id in DEFAULT_ORDER + EXTENSION_ORDER:
-            print(experiment_id)
+        for experiment_id in listed_experiments():
+            marker = "  (serial-only)" if experiment_id in UNPLANNABLE else ""
+            print(f"{experiment_id}{marker}")
         return 0
 
     targets = list(args.experiments)
@@ -167,25 +202,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         configure_disk_cache(args.cache_dir)
 
-    def experiment_kwargs(experiment_id: str) -> dict:
-        kwargs = {}
-        if args.quick:
-            if experiment_id in _TAKES_CPU:
-                kwargs["cpu_names"] = QUICK_CPU_NAMES
-            if experiment_id in _TAKES_GPU:
-                kwargs["gpu_names"] = [
-                    g for g in QUICK_GPU_NAMES if experiment_id != "fig8" or g != "ubench"
-                ]
-        if args.horizon_ms is not None and experiment_id != "table1":
-            kwargs["horizon_ns"] = int(args.horizon_ms * 1_000_000)
-        return kwargs
+    def kwargs_for(experiment_id: str) -> dict:
+        return experiment_kwargs(
+            experiment_id, quick=args.quick, horizon_ms=args.horizon_ms
+        )
 
     if args.jobs != 1:
         from ..core import prewarm_experiments
 
         report = prewarm_experiments(
             targets,
-            experiment_kwargs,
+            kwargs_for,
             jobs=args.jobs,
             tracer=tracer,
             unplannable=UNPLANNABLE,
@@ -195,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     results = []
     for experiment_id in targets:
-        result = run_experiment(experiment_id, **experiment_kwargs(experiment_id))
+        result = run_experiment(experiment_id, **kwargs_for(experiment_id))
         results.append(result)
         print(result.render())
         print(f"[{experiment_id} finished in {result.elapsed_s:.1f}s]\n")

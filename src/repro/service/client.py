@@ -1,0 +1,274 @@
+"""Stdlib client for the simulation service, plus the ``hiss-client`` CLI.
+
+:class:`ServiceClient` wraps the JSON API in plain method calls;
+:func:`ServiceClient.submit_with_backoff` is the client half of the
+paper's protocol — when the daemon answers 429, the client *honors the
+hint* and retries after the advertised delay instead of hammering, which
+is exactly how the bounded-queue + back-off pair converts overload into
+latency rather than collapse.
+
+CLI::
+
+    hiss-client --url http://host:port submit fig4 --quick --wait
+    hiss-client status job-000001-abcdef0123
+    hiss-client result job-000001-abcdef0123
+    hiss-client experiments | jobs | health | metrics [--text]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceRejected", "main"]
+
+DEFAULT_URL = "http://127.0.0.1:8171"
+
+
+class ServiceError(Exception):
+    """Any non-2xx response (except 429, which raises the subclass)."""
+
+    def __init__(self, status: int, body: Any):
+        detail = body.get("detail") if isinstance(body, dict) else body
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.body = body
+
+
+class ServiceRejected(ServiceError):
+    """Admission refused the job (429); carries the server's retry hint."""
+
+    def __init__(self, status: int, body: Any, retry_after_s: float):
+        super().__init__(status, body)
+        self.retry_after_s = retry_after_s
+        self.reason = body.get("error") if isinstance(body, dict) else "rejected"
+
+
+class ServiceClient:
+    def __init__(self, base_url: str = DEFAULT_URL, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Tuple[int, Dict[str, str], Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                raw = response.read()
+                return response.status, dict(response.headers), _parse(raw)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            parsed = _parse(raw)
+            if error.code == 429:
+                retry_after = float(
+                    error.headers.get("Retry-After")
+                    or (parsed or {}).get("retry_after_s", 1.0)
+                )
+                raise ServiceRejected(error.code, parsed, retry_after) from None
+            raise ServiceError(error.code, parsed) from None
+
+    def _get(self, path: str) -> Any:
+        _status, _headers, parsed = self._request("GET", path)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        experiments: List[str],
+        quick: bool = False,
+        horizon_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit once; returns the submission body (``body["job"]["id"]``).
+
+        Raises :class:`ServiceRejected` when admission refuses.
+        """
+        doc: Dict[str, Any] = {"experiments": list(experiments), "quick": quick}
+        if horizon_ms is not None:
+            doc["horizon_ms"] = horizon_ms
+        _status, _headers, parsed = self._request("POST", "/v1/jobs", doc)
+        return parsed
+
+    def submit_with_backoff(
+        self,
+        experiments: List[str],
+        quick: bool = False,
+        horizon_ms: Optional[float] = None,
+        give_up_after_s: float = 300.0,
+        sleep=time.sleep,
+    ) -> Dict[str, Any]:
+        """Submit, sleeping out each 429's ``Retry-After`` until accepted."""
+        deadline = time.monotonic() + give_up_after_s
+        while True:
+            try:
+                return self.submit(experiments, quick=quick, horizon_ms=horizon_ms)
+            except ServiceRejected as rejection:
+                if time.monotonic() + rejection.retry_after_s > deadline:
+                    raise
+                sleep(rejection.retry_after_s)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._get(f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> List[dict]:
+        return self._get(f"/v1/jobs/{job_id}/result")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its doc."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {doc['state']}")
+            time.sleep(poll_s)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._get("/v1/jobs")
+
+    def experiments(self) -> Dict[str, Any]:
+        return self._get("/v1/experiments")
+
+    def health(self) -> Dict[str, Any]:
+        return self._get("/healthz")
+
+    def metrics(self, text: bool = False) -> Any:
+        return self._get("/metrics?format=text" if text else "/metrics")
+
+    def evict(self, job_id: str) -> Dict[str, Any]:
+        _status, _headers, parsed = self._request("DELETE", f"/v1/jobs/{job_id}")
+        return parsed
+
+
+def _parse(raw: bytes) -> Any:
+    if not raw:
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return raw.decode("utf-8", errors="replace")
+
+
+def _print_json(doc: Any) -> None:
+    if isinstance(doc, str):
+        print(doc, end="" if doc.endswith("\n") else "\n")
+    else:
+        print(json.dumps(doc, indent=2))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hiss-client", description="Talk to a hiss-serve simulation daemon."
+    )
+    parser.add_argument("--url", default=DEFAULT_URL, help=f"server URL (default {DEFAULT_URL})")
+    parser.add_argument("--timeout", type=float, default=30.0, help="per-request timeout (s)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser("submit", help="submit experiments as one job")
+    submit.add_argument("experiments", nargs="+", help="experiment ids (e.g. fig4)")
+    submit.add_argument("--quick", action="store_true", help="reduced workload grid")
+    submit.add_argument("--horizon-ms", type=float, default=None)
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes, print its result"
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=600.0, help="--wait limit in seconds"
+    )
+    submit.add_argument(
+        "--no-backoff", action="store_true",
+        help="fail immediately on 429 instead of honoring Retry-After",
+    )
+
+    for name, help_text in [
+        ("status", "print one job's status document"),
+        ("result", "print one finished job's result JSON"),
+        ("wait", "poll one job until it finishes"),
+        ("evict", "evict one terminal job before its TTL"),
+    ]:
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("job_id")
+        if name == "wait":
+            sub.add_argument("--wait-timeout", type=float, default=600.0)
+
+    commands.add_parser("jobs", help="list live jobs")
+    commands.add_parser("experiments", help="list servable experiments")
+    commands.add_parser("health", help="print /healthz")
+    metrics = commands.add_parser("metrics", help="print /metrics")
+    metrics.add_argument("--text", action="store_true", help="flat text exposition")
+
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    try:
+        if args.command == "submit":
+            if args.no_backoff:
+                body = client.submit(
+                    args.experiments, quick=args.quick, horizon_ms=args.horizon_ms
+                )
+            else:
+                body = client.submit_with_backoff(
+                    args.experiments, quick=args.quick, horizon_ms=args.horizon_ms
+                )
+            if not args.wait:
+                _print_json(body)
+                return 0
+            job_id = body["job"]["id"]
+            doc = client.wait(job_id, timeout_s=args.wait_timeout)
+            if doc["state"] != "done":
+                _print_json(doc)
+                return 1
+            _print_json(doc)
+            _print_json(client.result(job_id))
+            return 0
+        if args.command == "status":
+            _print_json(client.status(args.job_id))
+        elif args.command == "result":
+            _print_json(client.result(args.job_id))
+        elif args.command == "wait":
+            doc = client.wait(args.job_id, timeout_s=args.wait_timeout)
+            _print_json(doc)
+            return 0 if doc["state"] == "done" else 1
+        elif args.command == "evict":
+            _print_json(client.evict(args.job_id))
+        elif args.command == "jobs":
+            _print_json(client.jobs())
+        elif args.command == "experiments":
+            _print_json(client.experiments())
+        elif args.command == "health":
+            _print_json(client.health())
+        elif args.command == "metrics":
+            _print_json(client.metrics(text=args.text))
+        return 0
+    except ServiceRejected as rejection:
+        print(
+            f"rejected ({rejection.reason}): retry after "
+            f"{rejection.retry_after_s:.1f}s",
+            file=sys.stderr,
+        )
+        return 2
+    except (ServiceError, TimeoutError, urllib.error.URLError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""The job scheduler: batch queued jobs onto the parallel run engine.
+
+One background thread drains the admission queue in batches.  Each batch
+is served exactly the way ``hiss-experiments --jobs N`` serves a CLI
+invocation:
+
+1. every job was already *planned* at submission time (run keys recorded
+   via :func:`repro.core.experiment.planning`), so the batch's union of
+   keys is known without simulating;
+2. keys no cache level satisfies are fanned out through
+   :func:`repro.core.planner.execute_runs` — the same
+   ``ProcessPoolExecutor`` path, the same :func:`simulate_run`, so a
+   served result is bit-for-bit the CLI's result;
+3. each job then *replays* its experiments (all ``run_workloads`` calls
+   are now cache hits) to assemble its tables.
+
+Batching means ten queued jobs that share baselines — most do — cost one
+simulation pass, and a fully warm job completes without simulating at
+all.  Simulated core-seconds are reported to the
+:class:`~repro.service.admission.ServiceGovernor` so admission feels the
+load the scheduler actually generated.
+
+Planning mode and replay both use the process-global memo/planning state
+in :mod:`repro.core.experiment`, which is not reentrant; ``_PLAN_LOCK``
+serializes every such section across request threads and the scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import traceback
+from typing import Callable, List, Optional, Tuple
+
+from ..core import experiment as _experiment
+from ..core.planner import execute_runs, plan_runs, resolve_jobs
+from ..core.runcache import RunKey, run_key_digest
+from ..telemetry import MetricsRegistry
+from .admission import AdmissionController, ServiceGovernor
+from .jobs import CANCELLED, DONE, FAILED, RUNNING, Job, JobStore
+
+__all__ = ["JobScheduler", "dedupe_key_for", "plan_spec"]
+
+#: Serializes use of the non-reentrant planning/replay machinery.
+_PLAN_LOCK = threading.Lock()
+
+
+def plan_spec(spec) -> Tuple[List[RunKey], List[str]]:
+    """Plan a job spec into ``(ordered run keys, serial-only experiments)``.
+
+    Costs milliseconds (planning mode never simulates), so the submission
+    path can afford it per request — it is what makes RunKey-level dedupe
+    and the warm-cache fast path possible before a job is even queued.
+    """
+    from ..experiments.common import REGISTRY, UNPLANNABLE
+    from ..experiments.run_all import experiment_kwargs
+
+    def kwargs_for(experiment_id: str) -> dict:
+        return experiment_kwargs(
+            experiment_id, quick=spec.quick, horizon_ms=spec.horizon_ms
+        )
+
+    with _PLAN_LOCK:
+        return plan_runs(
+            spec.experiments, kwargs_for, registry=REGISTRY, unplannable=UNPLANNABLE
+        )
+
+
+def dedupe_key_for(spec, run_keys: List[RunKey]) -> str:
+    """Digest identifying a submission's work: spec + planned run keys.
+
+    Folding in :func:`run_key_digest` (which already covers the code
+    fingerprint) means the key changes when the simulator does — after a
+    reload plus :func:`repro.core.reset_code_fingerprint`, stale twins
+    stop matching automatically.
+    """
+    digest = hashlib.sha256()
+    digest.update(spec.canonical_json().encode("utf-8"))
+    for key in run_keys:
+        digest.update(run_key_digest(key).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class JobScheduler:
+    """Background drain loop: admission queue -> parallel engine -> store."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        admission: AdmissionController,
+        metrics: MetricsRegistry,
+        jobs: int = 1,
+        governor: Optional[ServiceGovernor] = None,
+        poll_s: float = 0.2,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.store = store
+        self.admission = admission
+        self.metrics = metrics
+        self.jobs = jobs
+        self.governor = governor
+        self.poll_s = poll_s
+        self._clock = clock
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._drain = True
+        self._paused = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="hiss-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def pause(self) -> None:
+        """Stop taking batches (queued jobs wait); used by tests/operators."""
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    def stop(self, drain: bool = True, timeout_s: Optional[float] = None) -> None:
+        """Shut the loop down; with ``drain`` finish every queued job first.
+
+        Without ``drain``, still-queued jobs are marked ``cancelled`` so
+        no client is left polling a job that will never run.
+        """
+        self._drain = drain
+        self._stopping.set()
+        self.resume()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        if not drain:
+            for job_id in self.admission.take_batch(timeout_s=0):
+                self._cancel(job_id)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            if self._paused.is_set() and not self._stopping.is_set():
+                time.sleep(0.01)
+                continue
+            batch = self.admission.take_batch(timeout_s=self.poll_s)
+            if batch and self._paused.is_set() and not self._stopping.is_set():
+                # Paused while blocked in take_batch: hand the batch back.
+                self.admission.requeue_front(batch)
+                continue
+            if not batch:
+                self.store.evict_expired()
+                if self._stopping.is_set():
+                    return
+                continue
+            if self._stopping.is_set() and not self._drain:
+                for job_id in batch:
+                    self._cancel(job_id)
+                continue
+            try:
+                self._run_batch(batch)
+            except BaseException:  # never let the drain thread die silently
+                self.metrics.counter("service.scheduler.batch_errors").inc()
+                for job_id in batch:
+                    job = self.store.get(job_id)
+                    if job is not None and job.state == RUNNING:
+                        self._finish(job, FAILED, error=traceback.format_exc(limit=20))
+
+    def _cancel(self, job_id: str) -> None:
+        job = self.store.get(job_id)
+        if job is not None and job.state not in (DONE, FAILED):
+            self._finish(job, CANCELLED, error="cancelled at shutdown")
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_s = self._clock()
+        counter = {
+            DONE: "service.jobs.completed",
+            FAILED: "service.jobs.failed",
+            CANCELLED: "service.jobs.cancelled",
+        }[state]
+        self.metrics.counter(counter).inc()
+
+    def _run_batch(self, job_ids: List[str]) -> None:
+        started = time.monotonic()
+        jobs = [j for j in (self.store.get(i) for i in job_ids) if j is not None]
+        if not jobs:
+            return
+        # Union of not-yet-cached keys across the batch, submission order.
+        pending: List[RunKey] = []
+        seen = set()
+        for job in jobs:
+            job.state = RUNNING
+            job.started_s = self._clock()
+            if job.created_s:
+                self.metrics.histogram(
+                    "service.job.wait_s", low=1e-3, high=1e4, growth=1.5
+                ).record(max(0.0, job.started_s - job.created_s))
+            cached = 0
+            for key in job.run_keys:
+                if _experiment.cache_lookup(key) is not None:
+                    cached += 1
+                elif key not in seen:
+                    seen.add(key)
+                    pending.append(key)
+            job.runs_cached = cached
+            job.runs_executed = len(job.run_keys) - cached
+
+        report = execute_runs(pending, jobs=self.jobs)
+        self.metrics.counter("service.runs.executed").inc(report.executed)
+        self.metrics.counter("service.runs.cache_hits").inc(
+            sum(job.runs_cached for job in jobs)
+        )
+        if self.governor is not None and report.executed:
+            used = min(resolve_jobs(self.jobs), report.executed)
+            self.governor.note_busy(report.execute_s * used)
+
+        from ..experiments.common import run_experiment
+        from ..experiments.run_all import experiment_kwargs
+
+        for job in jobs:
+            try:
+                with _PLAN_LOCK:
+                    results = [
+                        run_experiment(
+                            experiment_id,
+                            **experiment_kwargs(
+                                experiment_id,
+                                quick=job.spec.quick,
+                                horizon_ms=job.spec.horizon_ms,
+                            ),
+                        )
+                        for experiment_id in job.spec.experiments
+                    ]
+            except Exception:
+                self._finish(job, FAILED, error=traceback.format_exc(limit=20))
+                continue
+            job.results = [result.as_dict() for result in results]
+            self._finish(job, DONE)
+            self.metrics.histogram(
+                "service.job.total_s", low=1e-3, high=1e4, growth=1.5
+            ).record(max(0.0, job.finished_s - job.created_s))
+        self.admission.note_service_time((time.monotonic() - started) / len(jobs))

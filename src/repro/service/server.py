@@ -1,0 +1,361 @@
+"""The simulation-as-a-service daemon: HTTP JSON API over the run engine.
+
+``HissService`` wires the pieces — :class:`~repro.service.jobs.JobStore`,
+:class:`~repro.service.admission.AdmissionController` (+ optional
+:class:`~repro.service.admission.ServiceGovernor`), and the
+:class:`~repro.service.scheduler.JobScheduler` — behind a stdlib
+``ThreadingHTTPServer``.  Endpoints:
+
+====================================  =========================================
+``POST /v1/jobs``                     submit a job (202; 200 if deduplicated;
+                                      429 + ``Retry-After`` when admission
+                                      refuses; 503 while draining)
+``GET /v1/jobs``                      list live jobs (summaries)
+``GET /v1/jobs/<id>``                 one job's status document
+``GET /v1/jobs/<id>/result``          the CLI-equivalent ``--json`` document
+``DELETE /v1/jobs/<id>``              evict a terminal job before its TTL
+``GET /v1/experiments``               registered experiments (+ plannability)
+``GET /healthz``                      liveness + drain state
+``GET /metrics``                      MetricsRegistry snapshot (JSON, or flat
+                                      text with ``?format=text``)
+====================================  =========================================
+
+Request handling is thread-per-connection; everything the handlers touch
+is either lock-protected (store, admission, governor, disk-cache stats)
+or create-once (the registry).  Submissions plan on the request thread —
+milliseconds — so dedupe and rejection happen *before* any queue state
+is consumed, the same "refuse early, at the boundary" shape the paper
+argues for in the IOMMU's bounded PPR queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse, parse_qs
+
+from ..core import experiment as _experiment
+from ..core.planner import resolve_jobs
+from ..telemetry import MetricsRegistry, render_metrics_text
+from .admission import AdmissionController, RejectedJob, ServiceGovernor
+from .jobs import DONE, TERMINAL_STATES, BadSpec, JobSpec, JobStore
+from .scheduler import JobScheduler, dedupe_key_for, plan_spec
+
+__all__ = ["HissService"]
+
+
+class HissService:
+    """A long-lived simulation server; also usable in-process (tests, examples).
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    ``qos_threshold >= 1`` effectively disables backpressure; the queue
+    bound always applies.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        queue_limit: int = 16,
+        ttl_s: float = 900.0,
+        qos_threshold: float = 0.75,
+        qos_sample_period_s: float = 0.25,
+        qos_window_s: float = 2.0,
+        qos_initial_delay_s: float = 0.5,
+        qos_max_delay_s: float = 30.0,
+        cache_dir: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        verbose: bool = False,
+    ):
+        if cache_dir:
+            _experiment.configure_disk_cache(cache_dir)
+        self.verbose = verbose
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.governor = ServiceGovernor(
+            threshold=qos_threshold,
+            capacity_cores=resolve_jobs(jobs),
+            sample_period_s=qos_sample_period_s,
+            window_s=qos_window_s,
+            initial_delay_s=qos_initial_delay_s,
+            max_delay_s=qos_max_delay_s,
+        )
+        self.admission = AdmissionController(
+            queue_limit=queue_limit, governor=self.governor
+        )
+        self.store = JobStore(ttl_s=ttl_s)
+        self.scheduler = JobScheduler(
+            store=self.store,
+            admission=self.admission,
+            metrics=self.metrics,
+            jobs=jobs,
+            governor=self.governor,
+        )
+        self._draining = False
+        self._started_s = time.time()
+        self._serve_thread: Optional[threading.Thread] = None
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self  # handlers reach back via self.server.service
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HissService":
+        self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="hiss-serve", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new jobs, drain in-flight, then close.
+
+        Clients can keep polling job status for the whole drain; only
+        submissions see 503.  ``drain=False`` cancels queued jobs instead
+        of running them.
+        """
+        self._draining = True
+        self.scheduler.stop(drain=drain)
+        self.httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+        self.httpd.server_close()
+
+    def __enter__(self) -> "HissService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Operations backing the endpoints
+    # ------------------------------------------------------------------
+    def submit_document(
+        self, doc: Any
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Serve one submission; returns ``(status, body, extra_headers)``."""
+        if self._draining:
+            return 503, {"error": "draining", "detail": "server is shutting down"}, {}
+        from ..experiments.common import REGISTRY
+
+        try:
+            spec = JobSpec.from_document(doc, REGISTRY)
+        except BadSpec as exc:
+            self.metrics.counter("service.jobs.bad_spec").inc()
+            return 400, {"error": "bad-spec", "detail": str(exc)}, {}
+        run_keys, serial_only = plan_spec(spec)
+        dedupe_key = dedupe_key_for(spec, run_keys)
+        try:
+            job, deduplicated = self.store.submit(
+                spec, dedupe_key, run_keys, serial_only, self.admission.try_admit
+            )
+        except RejectedJob as rejection:
+            self.metrics.counter(
+                "service.jobs.rejected_" + rejection.reason.replace("-", "_")
+            ).inc()
+            body = {
+                "error": rejection.reason,
+                "detail": str(rejection),
+                "retry_after_s": rejection.retry_after_s,
+            }
+            return 429, body, {"Retry-After": f"{rejection.retry_after_s:.3f}"}
+        if deduplicated:
+            self.metrics.counter("service.jobs.deduplicated").inc()
+            return 200, {"deduplicated": True, "job": job.as_dict()}, {}
+        self.metrics.counter("service.jobs.submitted").inc()
+        self.metrics.counter("service.runs.planned").inc(len(run_keys))
+        return 202, {"deduplicated": False, "job": job.as_dict()}, {}
+
+    def health_document(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": time.time() - self._started_s,
+            "queue_depth": self.admission.depth(),
+            "jobs": self.store.counts(),
+        }
+
+    def gauges(self) -> Dict[str, float]:
+        """Point-in-time values merged into ``/metrics`` next to counters."""
+        gauges: Dict[str, float] = {
+            "service.queue.depth": float(self.admission.depth()),
+            "service.queue.limit": float(self.admission.queue_limit),
+            "service.queue.mean_service_s": self.admission.mean_service_s,
+            "service.uptime_s": time.time() - self._started_s,
+        }
+        for name, value in self.governor.snapshot().items():
+            gauges[f"service.qos.{name}"] = value
+        for state, count in self.store.counts().items():
+            gauges[f"service.jobs.state.{state}"] = float(count)
+        disk = _experiment.get_disk_cache()
+        if disk is not None:
+            hits, misses, stores = disk.stats()
+            gauges["service.disk_cache.hits"] = float(hits)
+            gauges["service.disk_cache.misses"] = float(misses)
+            gauges["service.disk_cache.stores"] = float(stores)
+        return gauges
+
+    def metrics_document(self) -> Dict[str, Any]:
+        doc = self.metrics.snapshot()
+        doc["gauges"] = self.gauges()
+        return doc
+
+    def experiments_document(self) -> Dict[str, Any]:
+        from ..experiments.common import REGISTRY, UNPLANNABLE
+        from ..experiments.run_all import listed_experiments
+
+        return {
+            "experiments": [
+                {"id": experiment_id, "plannable": experiment_id not in UNPLANNABLE}
+                for experiment_id in listed_experiments()
+            ],
+            "count": len(REGISTRY),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> HissService:
+        return self.server.service
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.service.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(
+        self,
+        status: int,
+        body: Any,
+        headers: Optional[Dict[str, str]] = None,
+        indent: Optional[int] = None,
+    ) -> None:
+        payload = (json.dumps(body, indent=indent) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.service
+        service.metrics.counter("service.http.requests").inc()
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, service.health_document())
+        elif path == "/metrics":
+            query = parse_qs(parsed.query)
+            if query.get("format", ["json"])[0] == "text":
+                self._send_text(
+                    200, render_metrics_text(service.metrics, service.gauges())
+                )
+            else:
+                self._send_json(200, service.metrics_document())
+        elif path == "/v1/experiments":
+            self._send_json(200, service.experiments_document())
+        elif path == "/v1/jobs":
+            self._send_json(
+                200, {"jobs": [job.as_dict() for job in service.store.jobs()]}
+            )
+        elif path.startswith("/v1/jobs/"):
+            self._get_job(path[len("/v1/jobs/"):])
+        else:
+            self._send_json(404, {"error": "not-found", "detail": path})
+
+    def _get_job(self, rest: str) -> None:
+        service = self.service
+        job_id, _, tail = rest.partition("/")
+        job = service.store.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": "unknown-job", "detail": job_id})
+        elif tail == "":
+            self._send_json(200, job.as_dict())
+        elif tail == "result":
+            if job.state != DONE:
+                self._send_json(
+                    409,
+                    {"error": "not-done", "detail": f"job is {job.state}",
+                     "job": job.as_dict()},
+                )
+            else:
+                # Exactly the document `hiss-experiments ... --json` writes.
+                self._send_json(200, job.results, indent=2)
+        else:
+            self._send_json(404, {"error": "not-found", "detail": rest})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.service
+        service.metrics.counter("service.http.requests").inc()
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/v1/jobs":
+            self._send_json(404, {"error": "not-found", "detail": path})
+            return
+        try:
+            doc = self._read_json_body()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": "bad-json", "detail": str(exc)})
+            return
+        status, body, headers = service.submit_document(doc)
+        self._send_json(status, body, headers=headers)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        service = self.service
+        service.metrics.counter("service.http.requests").inc()
+        path = urlparse(self.path).path.rstrip("/")
+        if not path.startswith("/v1/jobs/"):
+            self._send_json(404, {"error": "not-found", "detail": path})
+            return
+        job_id = path[len("/v1/jobs/"):]
+        job = service.store.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": "unknown-job", "detail": job_id})
+        elif job.state not in TERMINAL_STATES:
+            self._send_json(
+                409, {"error": "not-terminal", "detail": f"job is {job.state}"}
+            )
+        else:
+            service.store.evict(job_id)
+            service.metrics.counter("service.jobs.evicted_by_client").inc()
+            self._send_json(200, {"evicted": job_id})

@@ -26,6 +26,7 @@ from .tracer import (
 )
 from .export import (
     chrome_trace_dict,
+    render_metrics_text,
     render_timeline,
     timeline_summary,
     validate_chrome_trace,
@@ -42,6 +43,7 @@ __all__ = [
     "Tracer",
     "chrome_trace_dict",
     "get_active_tracer",
+    "render_metrics_text",
     "render_timeline",
     "set_active_tracer",
     "timeline_summary",

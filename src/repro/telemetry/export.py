@@ -18,15 +18,39 @@ import json
 from collections import defaultdict
 from typing import Any, Dict, List, Optional, Union
 
+from .metrics import MetricsRegistry
 from .tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent, Tracer
 
 __all__ = [
     "chrome_trace_dict",
+    "render_metrics_text",
     "render_timeline",
     "timeline_summary",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]
+
+
+def render_metrics_text(
+    registry: MetricsRegistry, gauges: Optional[Dict[str, float]] = None
+) -> str:
+    """Flat ``name value`` exposition of a registry (plus caller gauges).
+
+    One sample per line, histograms expanded into their summary fields
+    (``count``/``mean``/``min``/``max``/``p50``/``p95``/``p99``) — the
+    format the serving daemon's ``/metrics?format=text`` endpoint emits,
+    greppable and scrape-friendly without any client library.
+    """
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        lines.append(f"{name} {value}")
+    for name, summary in snapshot["histograms"].items():
+        for stat, value in summary.items():
+            lines.append(f"{name}.{stat} {value:g}")
+    for name, value in sorted((gauges or {}).items()):
+        lines.append(f"{name} {value:g}" if isinstance(value, float) else f"{name} {value}")
+    return "\n".join(lines) + "\n"
 
 #: The single simulated-SoC process in the exported trace.
 PID = 0

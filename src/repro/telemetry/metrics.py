@@ -14,6 +14,7 @@ perturbing a deterministic run.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional
 
@@ -143,22 +144,30 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Create-on-demand registry of named counters and histograms."""
+    """Create-on-demand registry of named counters and histograms.
+
+    Lookups are lock-free (the simulator calls these on hot paths); only
+    first-time creation takes a lock, so many server request threads can
+    share one registry without ever racing two instruments onto one name.
+    """
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._create_lock:
+                counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def histogram(self, name: str, **kwargs) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, **kwargs)
+            with self._create_lock:
+                histogram = self._histograms.setdefault(name, Histogram(name, **kwargs))
         return histogram
 
     @property

@@ -171,6 +171,41 @@ class TestDiskCache:
         int(fingerprint, 16)
         assert len(fingerprint) == 64
 
+    def test_reset_code_fingerprint_clears_the_memo(self):
+        from repro.core import reset_code_fingerprint
+        from repro.core.runcache import code_fingerprint as fp
+
+        before = fp()
+        assert fp.cache_info().currsize == 1
+        reset_code_fingerprint()
+        assert fp.cache_info().currsize == 0
+        # Same sources on disk: same digest, freshly recomputed.
+        assert fp() == before
+
+    def test_counters_are_thread_safe(self, tmp_path):
+        import threading
+
+        cache = DiskCache(str(tmp_path))
+        hit_key = small_key()
+        cache_store_key_via(cache, hit_key)
+        miss_key = small_key(ssr=False)
+        per_thread, threads = 200, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                assert cache.get(hit_key) is not None
+                assert cache.get(miss_key) is None
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        hits, misses, stores = cache.stats()
+        assert hits == per_thread * threads
+        assert misses == per_thread * threads
+        assert stores == 1
+
 
 def cache_store_key_via(cache: DiskCache, key) -> None:
     """Simulate once (memoized) and persist through the given cache."""

@@ -4,7 +4,13 @@ import pytest
 
 import repro.experiments  # noqa: F401 - populates the registry
 from repro.experiments import REGISTRY, ExperimentResult, run_experiment
-from repro.experiments.run_all import DEFAULT_ORDER, EXTENSION_ORDER, main
+from repro.experiments.common import UNPLANNABLE
+from repro.experiments.run_all import (
+    DEFAULT_ORDER,
+    EXTENSION_ORDER,
+    listed_experiments,
+    main,
+)
 
 
 class TestRegistry:
@@ -30,8 +36,20 @@ class TestRegistry:
         }
         assert expected <= set(REGISTRY)
 
-    def test_order_lists_cover_registry(self):
-        assert set(DEFAULT_ORDER) | set(EXTENSION_ORDER) == set(REGISTRY)
+    def test_order_lists_are_subsets_of_registry(self):
+        # Orders may lag behind REGISTRY (listed_experiments() catches the
+        # stragglers) but must never name an experiment that doesn't exist.
+        assert set(DEFAULT_ORDER) <= set(REGISTRY)
+        assert set(EXTENSION_ORDER) <= set(REGISTRY)
+        assert not set(DEFAULT_ORDER) & set(EXTENSION_ORDER)
+
+    def test_listed_experiments_covers_registry_exactly(self):
+        listed = listed_experiments()
+        assert sorted(listed) == sorted(REGISTRY)
+        assert len(listed) == len(set(listed))
+        # Curated order comes first, in order.
+        curated = [e for e in DEFAULT_ORDER + EXTENSION_ORDER if e in REGISTRY]
+        assert listed[: len(curated)] == curated
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -72,6 +90,15 @@ class TestCli:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig3a" in out and "table1" in out
+
+    def test_list_covers_every_registered_experiment(self, capsys):
+        main(["--list"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        ids = [line.split()[0] for line in lines]
+        assert sorted(ids) == sorted(REGISTRY)
+        for line in lines:
+            if line.split()[0] in UNPLANNABLE:
+                assert "serial-only" in line
 
     def test_runs_cheap_experiment(self, capsys):
         assert main(["table1"]) == 0

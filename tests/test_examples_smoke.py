@@ -54,3 +54,10 @@ class TestExamples:
         out = run_example("collaborative_pipeline.py", "6")
         assert "batches consumed" in out
         assert "signal" in out
+
+    def test_service_quickstart(self):
+        out = run_example("service_quickstart.py", "1")
+        assert "queue depth" in out
+        assert "qos fraction" in out
+        assert "deduplicated=True" in out
+        assert "drained and stopped." in out
