@@ -5,10 +5,14 @@ performance history across commits::
 
     PYTHONPATH=src python benchmarks/record.py                    # full quick set
     PYTHONPATH=src python benchmarks/record.py --figures fig3a fig4 --jobs 4
+    PYTHONPATH=src python benchmarks/record.py --figures fig3a --service
 
 Each snapshot records the per-figure wall-clock of a cold run (in-memory
 cache cleared first), the grid/horizon used, and the environment, plus the
-prewarm split when ``--jobs`` enables the parallel engine.  Compare two
+prewarm split when ``--jobs`` enables the parallel engine.  With
+``--service`` the figures are additionally served through an in-process
+``HissService`` and the serving tier's stage latencies (queue wait, sim
+time, end-to-end) land in the snapshot under ``service``.  Compare two
 snapshots with a plain diff or jq.
 """
 
@@ -57,6 +61,57 @@ def figure_kwargs(experiment_id: str, horizon_ns: int) -> dict:
     return kwargs
 
 
+def record_service(figures, args) -> dict:
+    """Serve ``figures`` through an in-process daemon; return its latencies.
+
+    Each figure is one job over real HTTP (so the measured end-to-end
+    includes receive/plan/queue/render, exactly what a client sees), run
+    against a fresh cache so the sim-time numbers are cold like the CLI
+    figures above them.
+    """
+    from repro.service import HissService, ServiceClient
+    from repro.service.obs import LATENCY_HISTOGRAMS
+
+    clear_cache()
+    doc: dict = {"jobs": {}}
+    with HissService(port=0, jobs=args.jobs, qos_threshold=10.0) as svc:
+        client = ServiceClient(svc.url, timeout_s=60)
+        for experiment_id in figures:
+            body = client.submit_with_backoff(
+                [experiment_id], quick=True, horizon_ms=args.horizon_ms
+            )
+            job_id = body["job"]["id"]
+            status = client.wait(job_id, timeout_s=1800)
+            trace = client.trace(job_id)
+            stages = {
+                span["span_id"]: round(span["duration_s"], 4)
+                for span in trace["spans"]
+                if span["span_id"] in ("submit", "queue", "batch", "render", "root")
+            }
+            doc["jobs"][experiment_id] = {
+                "state": status["state"],
+                "planned_runs": status["planned_runs"],
+                "runs_executed": status["runs_executed"],
+                "stages_s": stages,
+            }
+            print(f"service {experiment_id}: e2e {stages.get('root', 0.0):.2f}s")
+        histograms = svc.metrics.histograms
+        for label, name in LATENCY_HISTOGRAMS:
+            histogram = histograms.get(name)
+            if histogram is None:
+                continue
+            summary = histogram.summary()
+            doc[label] = {
+                "count": summary["count"],
+                "p50_s": round(summary["percentiles"]["p50"], 4),
+                "p95_s": round(summary["percentiles"]["p95"], 4),
+                "p99_s": round(summary["percentiles"]["p99"], 4),
+                "max_s": round(summary["max"], 4),
+            }
+    clear_cache()
+    return doc
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -78,6 +133,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output-dir", default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "trajectory"),
         help="directory receiving BENCH_<sha>.json",
+    )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also serve the figures through an in-process HissService and "
+        "record its stage latencies (queue_wait/sim/e2e)",
     )
     args = parser.parse_args(argv)
 
@@ -120,6 +180,9 @@ def main(argv=None) -> int:
         snapshot["figures"][experiment_id] = round(result.elapsed_s, 3)
         print(f"{experiment_id}: {result.elapsed_s:.2f}s")
     snapshot["total_s"] = round(time.time() - total_start, 3)
+
+    if args.service:
+        snapshot["service"] = record_service(figures, args)
 
     os.makedirs(args.output_dir, exist_ok=True)
     path = os.path.join(args.output_dir, f"BENCH_{snapshot['sha']}.json")

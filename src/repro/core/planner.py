@@ -126,16 +126,33 @@ def plan_runs(
     return ordered, skipped
 
 
-def _worker_run(key: RunKey, trace_capacity: int):
-    """Pool worker: simulate one run; optionally capture its trace."""
+def _worker_run(key: RunKey, trace_capacity: int, span_context: Optional[dict] = None):
+    """Pool worker: simulate one run; optionally capture its trace.
+
+    ``span_context`` is the serving tier's cross-process trace baggage
+    (trace ids, run label).  The worker never reads it — it only stamps
+    the run's wall-clock window onto it and ships it back, so the parent
+    can merge a worker-side span into the right end-to-end trace.  It is
+    deliberately kept out of :func:`simulate_run`: tracing identity must
+    never influence simulated results.
+    """
     tracer = None
     if trace_capacity:
         from ..telemetry import Tracer
 
         tracer = Tracer(capacity=trace_capacity)
+    wall_start_s = time.time()
     metrics = _experiment.simulate_run(key, tracer=tracer)
+    wall_end_s = time.time()
     events = list(tracer.events()) if tracer is not None else None
-    return metrics, events
+    info = None
+    if span_context is not None:
+        info = dict(span_context)
+        info["wall_start_s"] = wall_start_s
+        info["wall_end_s"] = wall_end_s
+        info["worker_pid"] = os.getpid()
+        info["events_dropped"] = tracer.dropped if tracer is not None else 0
+    return metrics, events, info
 
 
 def _merge_worker_trace(tracer, label: str, events) -> None:
@@ -164,12 +181,19 @@ def execute_runs(
     tracer=None,
     trace_capacity: int = WORKER_TRACE_CAPACITY,
     report: Optional[PrewarmReport] = None,
+    span_context_for: Optional[Callable[[RunKey], Optional[dict]]] = None,
+    on_run: Optional[Callable[[RunKey, Optional[list], Optional[dict]], None]] = None,
 ) -> PrewarmReport:
     """Simulate ``keys`` on a worker pool, filling both cache levels.
 
     Keys already satisfied by a cache level are not dispatched.  With
     ``jobs == 1`` the runs execute in-process (no pool), which keeps the
     serial path free of multiprocessing machinery.
+
+    ``span_context_for`` (serving tier) maps a key to trace baggage the
+    worker carries across the process boundary and returns stamped with
+    its wall-clock window; ``on_run`` receives each executed run's
+    ``(key, captured events, stamped context)`` as it completes.
     """
     report = report or PrewarmReport()
     report.workers = resolve_jobs(jobs)
@@ -185,26 +209,33 @@ def execute_runs(
         pending.append(key)
 
     capture = trace_capacity if tracer is not None and tracer.enabled else 0
+
+    def context_for(key: RunKey) -> Optional[dict]:
+        return span_context_for(key) if span_context_for is not None else None
+
+    def completed(key: RunKey, metrics, events, info) -> None:
+        _experiment.cache_store(key, metrics)
+        if events:
+            _merge_worker_trace(tracer, run_label(key), events)
+        if on_run is not None:
+            on_run(key, events, info)
+        report.executed += 1
+
     if report.workers == 1 or len(pending) <= 1:
         for key in pending:
-            metrics, events = _worker_run(key, capture)
-            _experiment.cache_store(key, metrics)
-            if events:
-                _merge_worker_trace(tracer, run_label(key), events)
-            report.executed += 1
+            metrics, events, info = _worker_run(key, capture, context_for(key))
+            completed(key, metrics, events, info)
     else:
         workers = min(report.workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_worker_run, key, capture): key for key in pending
+                pool.submit(_worker_run, key, capture, context_for(key)): key
+                for key in pending
             }
             for future in as_completed(futures):
                 key = futures[future]
-                metrics, events = future.result()
-                _experiment.cache_store(key, metrics)
-                if events:
-                    _merge_worker_trace(tracer, run_label(key), events)
-                report.executed += 1
+                metrics, events, info = future.result()
+                completed(key, metrics, events, info)
     report.execute_s = time.time() - start
     return report
 

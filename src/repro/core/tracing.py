@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..iommu.request import SsrRequest
-from ..telemetry.metrics import Histogram
+from ..telemetry.metrics import SUMMARY_PERCENTILES, Histogram
 
 #: The chain stages, in order, with human labels.
 STAGE_SEQUENCE: List[Tuple[str, str, str]] = [
@@ -67,16 +67,17 @@ def latency_breakdown(requests: Iterable[SsrRequest]) -> List[StageLatency]:
             histograms[label].record(delta)
     breakdown = []
     for _start, _end, label in STAGE_SEQUENCE:
-        histogram = histograms[label]
+        summary = histograms[label].summary()
+        percentiles = summary["percentiles"]
         breakdown.append(
             StageLatency(
                 name=label,
-                mean_ns=histogram.mean,
-                max_ns=histogram.max if histogram.max is not None else 0.0,
-                samples=histogram.count,
-                p50_ns=histogram.quantile(0.50),
-                p95_ns=histogram.quantile(0.95),
-                p99_ns=histogram.quantile(0.99),
+                mean_ns=summary["mean"],
+                max_ns=summary["max"],
+                samples=summary["count"],
+                p50_ns=percentiles["p50"],
+                p95_ns=percentiles["p95"],
+                p99_ns=percentiles["p99"],
             )
         )
     return breakdown
@@ -94,16 +95,21 @@ def format_breakdown(breakdown: List[StageLatency]) -> str:
     The original mean/max/samples columns keep their positions; the
     percentile columns are appended (backward-compatible output).
     """
+    percentile_headers = " ".join(
+        f"{f'p{p}_us':>9s}" for p in SUMMARY_PERCENTILES
+    )
     lines = [
         f"{'stage':28s} {'mean_us':>9s} {'max_us':>9s} {'samples':>8s} "
-        f"{'p50_us':>9s} {'p95_us':>9s} {'p99_us':>9s}"
+        f"{percentile_headers}"
     ]
     lines.append("-" * len(lines[0]))
     for stage in breakdown:
+        percentile_cells = " ".join(
+            f"{getattr(stage, f'p{p}_ns') / 1e3:9.2f}" for p in SUMMARY_PERCENTILES
+        )
         lines.append(
             f"{stage.name:28s} {stage.mean_ns / 1e3:9.2f} "
             f"{stage.max_ns / 1e3:9.2f} {stage.samples:8d} "
-            f"{stage.p50_ns / 1e3:9.2f} {stage.p95_ns / 1e3:9.2f} "
-            f"{stage.p99_ns / 1e3:9.2f}"
+            f"{percentile_cells}"
         )
     return "\n".join(lines)

@@ -15,8 +15,11 @@ Layout:
 * :mod:`~repro.service.admission` — bounded queue + QoS governor
 * :mod:`~repro.service.scheduler` — batch drain onto the parallel engine
 * :mod:`~repro.service.server` — ``ThreadingHTTPServer`` JSON API
+* :mod:`~repro.service.obs` — job trace documents, ``/v1/ops`` snapshot,
+  structured JSONL ops logging
 * :mod:`~repro.service.client` — stdlib client + ``hiss-client`` CLI
 * :mod:`~repro.service.daemon` — ``hiss-serve`` entry point
+* :mod:`~repro.service.top` — ``hiss-top`` live console
 """
 
 from typing import TYPE_CHECKING
@@ -33,6 +36,7 @@ from .jobs import (
     JobSpec,
     JobStore,
 )
+from .obs import OpsLog, build_stitched_trace, build_trace_document, ops_document
 from .scheduler import JobScheduler, dedupe_key_for, plan_spec
 from .server import HissService
 
@@ -62,6 +66,7 @@ __all__ = [
     "JobScheduler",
     "JobSpec",
     "JobStore",
+    "OpsLog",
     "QUEUED",
     "RUNNING",
     "RejectedJob",
@@ -69,6 +74,9 @@ __all__ = [
     "ServiceError",
     "ServiceGovernor",
     "ServiceRejected",
+    "build_stitched_trace",
+    "build_trace_document",
     "dedupe_key_for",
+    "ops_document",
     "plan_spec",
 ]

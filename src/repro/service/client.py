@@ -12,7 +12,8 @@ CLI::
     hiss-client --url http://host:port submit fig4 --quick --wait
     hiss-client status job-000001-abcdef0123
     hiss-client result job-000001-abcdef0123
-    hiss-client experiments | jobs | health | metrics [--text]
+    hiss-client trace job-000001-abcdef0123 [--chrome]
+    hiss-client experiments | jobs | health | metrics [--text] | ops
 """
 
 from __future__ import annotations
@@ -29,15 +30,33 @@ __all__ = ["ServiceClient", "ServiceError", "ServiceRejected", "main"]
 
 DEFAULT_URL = "http://127.0.0.1:8171"
 
+#: Mirrors ``repro.service.server.TRACE_HEADER`` (kept literal: the client
+#: must work against a remote daemon without importing server code).
+TRACE_HEADER = "X-Hiss-Trace-Id"
+
+
+def _body_trace_id(body: Any) -> Optional[str]:
+    return body.get("trace_id") if isinstance(body, dict) else None
+
 
 class ServiceError(Exception):
-    """Any non-2xx response (except 429, which raises the subclass)."""
+    """Any non-2xx response (except 429, which raises the subclass).
+
+    The message carries the server-assigned trace id when the response
+    body has one, so an error a user pastes into a bug report is already
+    greppable in the daemon's JSONL ops log.
+    """
 
     def __init__(self, status: int, body: Any):
         detail = body.get("detail") if isinstance(body, dict) else body
-        super().__init__(f"HTTP {status}: {detail}")
+        trace_id = _body_trace_id(body)
+        message = f"HTTP {status}: {detail}"
+        if trace_id:
+            message += f" [trace {trace_id}]"
+        super().__init__(message)
         self.status = status
         self.body = body
+        self.trace_id = trace_id
 
 
 class ServiceRejected(ServiceError):
@@ -58,18 +77,26 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: Optional[Any] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], Any]:
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            all_headers["Content-Type"] = "application/json"
+        if headers:
+            all_headers.update(headers)
         request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
+            self.base_url + path, data=data, headers=all_headers, method=method
         )
+        timeout = self.timeout_s if timeout_s is None else timeout_s
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 raw = response.read()
                 return response.status, dict(response.headers), _parse(raw)
         except urllib.error.HTTPError as error:
@@ -83,8 +110,8 @@ class ServiceClient:
                 raise ServiceRejected(error.code, parsed, retry_after) from None
             raise ServiceError(error.code, parsed) from None
 
-    def _get(self, path: str) -> Any:
-        _status, _headers, parsed = self._request("GET", path)
+    def _get(self, path: str, timeout_s: Optional[float] = None) -> Any:
+        _status, _headers, parsed = self._request("GET", path, timeout_s=timeout_s)
         return parsed
 
     # ------------------------------------------------------------------
@@ -95,15 +122,22 @@ class ServiceClient:
         experiments: List[str],
         quick: bool = False,
         horizon_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit once; returns the submission body (``body["job"]["id"]``).
 
-        Raises :class:`ServiceRejected` when admission refuses.
+        ``trace_id`` (normally the one a previous 429 assigned) rides the
+        ``X-Hiss-Trace-Id`` header, so the server threads every back-off
+        round into the eventual job's trace.  Raises
+        :class:`ServiceRejected` when admission refuses.
         """
         doc: Dict[str, Any] = {"experiments": list(experiments), "quick": quick}
         if horizon_ms is not None:
             doc["horizon_ms"] = horizon_ms
-        _status, _headers, parsed = self._request("POST", "/v1/jobs", doc)
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        _status, _headers, parsed = self._request(
+            "POST", "/v1/jobs", doc, headers=headers
+        )
         return parsed
 
     def submit_with_backoff(
@@ -114,12 +148,21 @@ class ServiceClient:
         give_up_after_s: float = 300.0,
         sleep=time.sleep,
     ) -> Dict[str, Any]:
-        """Submit, sleeping out each 429's ``Retry-After`` until accepted."""
+        """Submit, sleeping out each 429's ``Retry-After`` until accepted.
+
+        The first rejection's server-assigned trace id is resent on every
+        retry, so the accepted job's trace shows each round it sat out.
+        """
         deadline = time.monotonic() + give_up_after_s
+        trace_id: Optional[str] = None
         while True:
             try:
-                return self.submit(experiments, quick=quick, horizon_ms=horizon_ms)
+                return self.submit(
+                    experiments, quick=quick, horizon_ms=horizon_ms,
+                    trace_id=trace_id,
+                )
             except ServiceRejected as rejection:
+                trace_id = rejection.trace_id or trace_id
                 if time.monotonic() + rejection.retry_after_s > deadline:
                     raise
                 sleep(rejection.retry_after_s)
@@ -129,6 +172,15 @@ class ServiceClient:
 
     def result(self, job_id: str) -> List[dict]:
         return self._get(f"/v1/jobs/{job_id}/result")
+
+    def trace(self, job_id: str, chrome: bool = False) -> Dict[str, Any]:
+        """One job's lifecycle trace: span JSON, or the Chrome-trace form."""
+        suffix = "?format=chrome" if chrome else ""
+        return self._get(f"/v1/jobs/{job_id}/trace{suffix}")
+
+    def ops(self) -> Dict[str, Any]:
+        """The ``/v1/ops`` snapshot (what ``hiss-top`` renders)."""
+        return self._get("/v1/ops")
 
     def wait(
         self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.2
@@ -202,6 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name, help_text in [
         ("status", "print one job's status document"),
         ("result", "print one finished job's result JSON"),
+        ("trace", "print one job's lifecycle trace (span JSON)"),
         ("wait", "poll one job until it finishes"),
         ("evict", "evict one terminal job before its TTL"),
     ]:
@@ -209,10 +262,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         sub.add_argument("job_id")
         if name == "wait":
             sub.add_argument("--wait-timeout", type=float, default=600.0)
+        if name == "trace":
+            sub.add_argument(
+                "--chrome", action="store_true",
+                help="stitched chrome://tracing export instead of span JSON",
+            )
 
     commands.add_parser("jobs", help="list live jobs")
     commands.add_parser("experiments", help="list servable experiments")
     commands.add_parser("health", help="print /healthz")
+    commands.add_parser("ops", help="print the /v1/ops snapshot")
     metrics = commands.add_parser("metrics", help="print /metrics")
     metrics.add_argument("--text", action="store_true", help="flat text exposition")
 
@@ -243,6 +302,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_json(client.status(args.job_id))
         elif args.command == "result":
             _print_json(client.result(args.job_id))
+        elif args.command == "trace":
+            _print_json(client.trace(args.job_id, chrome=args.chrome))
+        elif args.command == "ops":
+            _print_json(client.ops())
         elif args.command == "wait":
             doc = client.wait(args.job_id, timeout_s=args.wait_timeout)
             _print_json(doc)

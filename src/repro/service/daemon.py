@@ -4,6 +4,7 @@ Usage::
 
     hiss-serve --port 8171 --jobs 0 --cache-dir run-cache
     hiss-serve --qos-threshold 0.5 --queue-limit 32 --verbose
+    hiss-serve --log-json ops.jsonl        # structured JSONL ops events
 
 The process serves until SIGINT/SIGTERM, then drains: submissions get
 503, queued and in-flight jobs finish (their results stay fetchable for
@@ -20,6 +21,7 @@ import sys
 import threading
 from typing import List, Optional
 
+from .obs import OpsLog
 from .server import HissService
 
 __all__ = ["main"]
@@ -66,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent run cache shared with hiss-experiments --cache-dir",
     )
     parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="append structured JSONL ops events to PATH ('-' = stderr)",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="skip capturing in-sim event streams into job traces "
+        "(lifecycle spans and /v1/jobs/<id>/trace still work)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
     return parser
@@ -73,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    ops_log = OpsLog.open_path(args.log_json)
     service = HissService(
         host=args.host,
         port=args.port,
@@ -85,6 +97,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         qos_max_delay_s=args.qos_max_delay,
         cache_dir=args.cache_dir,
         verbose=args.verbose,
+        trace=not args.no_trace,
+        ops_log=ops_log,
     )
     shutdown = threading.Event()
 
@@ -104,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     shutdown.wait()
     service.stop(drain=True)
+    ops_log.close()
     print("hiss-serve: drained, bye", flush=True)
     return 0
 

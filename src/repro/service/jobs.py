@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.runcache import RunKey
+from ..telemetry.spans import new_trace_id
 
 __all__ = [
     "BadSpec",
@@ -124,9 +125,29 @@ class Job:
     #: Experiments in the spec the planner cannot pre-plan (run serially).
     serial_only: List[str] = field(default_factory=list)
     state: str = QUEUED
+    #: End-to-end correlation id: server-assigned at submission, carried
+    #: across back-off rounds, into pool workers, and through the JSONL log.
+    trace_id: str = ""
     created_s: float = 0.0
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
+    # -- trace timestamps (wall clock; stamped by server/scheduler) -----
+    #: When the accepting HTTP request began handling this submission.
+    received_s: Optional[float] = None
+    #: Wall-clock cost of planning the spec on the request thread.
+    plan_elapsed_s: float = 0.0
+    #: 429 rounds this trace sat out before admission
+    #: (``{received_s, rejected_s, reason, retry_after_s}`` each).
+    backoff_rounds: List[dict] = field(default_factory=list)
+    #: When the batch's run fan-out finished / this job's render began.
+    exec_done_s: Optional[float] = None
+    render_start_s: Optional[float] = None
+    #: How many jobs shared the batch that served this one.
+    batch_size: int = 0
+    #: Runs pool workers simulated on this job's behalf: per run the
+    #: wall-clock window, worker pid, span context, and (tracing on) the
+    #: captured in-sim event stream.
+    sim_runs: List[dict] = field(default_factory=list)
     #: Of the planned runs, how many were already cached when it started.
     runs_cached: int = 0
     #: How many runs its batch had to simulate on its behalf.
@@ -142,6 +163,7 @@ class Job:
         doc: Dict[str, Any] = {
             "id": self.id,
             "state": self.state,
+            "trace_id": self.trace_id,
             "spec": self.spec.as_dict(),
             "planned_runs": len(self.run_keys),
             "runs_cached": self.runs_cached,
@@ -156,6 +178,7 @@ class Job:
             doc["error"] = self.error
         if self.state == DONE:
             doc["result_url"] = f"/v1/jobs/{self.id}/result"
+        doc["trace_url"] = f"/v1/jobs/{self.id}/trace"
         return doc
 
 
@@ -178,6 +201,10 @@ class JobStore:
         run_keys: List[RunKey],
         serial_only: List[str],
         admit: Callable[[str], None],
+        trace_id: Optional[str] = None,
+        received_s: Optional[float] = None,
+        plan_elapsed_s: float = 0.0,
+        backoff_rounds: Optional[List[dict]] = None,
     ) -> Tuple[Job, bool]:
         """Dedupe-or-create under one lock; returns ``(job, deduplicated)``.
 
@@ -186,6 +213,10 @@ class JobStore:
         *before* the job is indexed, so a rejected submission leaves no
         trace.  A live or completed twin short-circuits admission
         entirely — duplicates are free, exactly the point of deduping.
+
+        The trace fields must land *before* the job is indexed (the
+        scheduler thread may batch it the instant ``admit`` notifies), so
+        they are arguments here rather than caller-side patches.
         """
         with self._lock:
             self._evict_expired_locked()
@@ -203,7 +234,11 @@ class JobStore:
                 dedupe_key=dedupe_key,
                 run_keys=list(run_keys),
                 serial_only=list(serial_only),
+                trace_id=trace_id or new_trace_id(),
                 created_s=self._clock(),
+                received_s=received_s,
+                plan_elapsed_s=plan_elapsed_s,
+                backoff_rounds=list(backoff_rounds or []),
             )
             self._jobs[job_id] = job
             self._by_dedupe[dedupe_key] = job_id

@@ -34,11 +34,12 @@ import traceback
 from typing import Callable, List, Optional, Tuple
 
 from ..core import experiment as _experiment
-from ..core.planner import execute_runs, plan_runs, resolve_jobs
+from ..core.planner import execute_runs, plan_runs, resolve_jobs, run_label
 from ..core.runcache import RunKey, run_key_digest
-from ..telemetry import MetricsRegistry
+from ..telemetry import MetricsRegistry, Tracer
 from .admission import AdmissionController, ServiceGovernor
 from .jobs import CANCELLED, DONE, FAILED, RUNNING, Job, JobStore
+from .obs import OpsLog, sim_event_dict
 
 __all__ = ["JobScheduler", "dedupe_key_for", "plan_spec"]
 
@@ -94,6 +95,10 @@ class JobScheduler:
         governor: Optional[ServiceGovernor] = None,
         poll_s: float = 0.2,
         clock: Callable[[], float] = time.time,
+        trace: bool = True,
+        trace_capacity: int = 100_000,
+        trace_events_per_run: int = 4000,
+        ops_log: Optional[OpsLog] = None,
     ):
         self.store = store
         self.admission = admission
@@ -102,6 +107,17 @@ class JobScheduler:
         self.governor = governor
         self.poll_s = poll_s
         self._clock = clock
+        #: Capture each run's in-sim event stream in the pool workers and
+        #: attach it to the jobs that planned the run.  Span/timestamp
+        #: bookkeeping happens regardless; this only gates event capture.
+        self.trace = trace
+        self.trace_capacity = trace_capacity
+        #: Per-run cap on events stored into a job (ring saturation is
+        #: reported, never silent — see ``service.trace.dropped_events``).
+        self.trace_events_per_run = trace_events_per_run
+        #: In-sim events dropped by worker rings or the per-run cap.
+        self.trace_dropped = 0
+        self.ops_log = ops_log if ops_log is not None else OpsLog(None)
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._drain = True
@@ -191,33 +207,54 @@ class JobScheduler:
             CANCELLED: "service.jobs.cancelled",
         }[state]
         self.metrics.counter(counter).inc()
+        e2e_s = None
+        if job.created_s:
+            e2e_s = max(0.0, job.finished_s - job.created_s)
+            self.metrics.histogram(
+                "service.job.e2e_s", low=1e-3, high=1e4, growth=1.5
+            ).record(e2e_s)
+        self.ops_log.log(
+            f"job.{state}", trace=job.trace_id, job=job.id, e2e_s=e2e_s,
+            runs_cached=job.runs_cached, runs_executed=job.runs_executed,
+            error=error,
+        )
 
     def _run_batch(self, job_ids: List[str]) -> None:
         started = time.monotonic()
         jobs = [j for j in (self.store.get(i) for i in job_ids) if j is not None]
         if not jobs:
             return
+        self.ops_log.log("batch.start", jobs=[j.id for j in jobs])
         # Union of not-yet-cached keys across the batch, submission order.
         pending: List[RunKey] = []
         seen = set()
+        needed_by: dict = {}  # RunKey -> jobs in this batch that planned it
         for job in jobs:
             job.state = RUNNING
             job.started_s = self._clock()
+            job.batch_size = len(jobs)
             if job.created_s:
                 self.metrics.histogram(
-                    "service.job.wait_s", low=1e-3, high=1e4, growth=1.5
+                    "service.job.queue_wait_s", low=1e-3, high=1e4, growth=1.5
                 ).record(max(0.0, job.started_s - job.created_s))
+            self.ops_log.log(
+                "job.started", trace=job.trace_id, job=job.id,
+                batch_jobs=len(jobs), planned_runs=len(job.run_keys),
+            )
             cached = 0
             for key in job.run_keys:
                 if _experiment.cache_lookup(key) is not None:
                     cached += 1
-                elif key not in seen:
-                    seen.add(key)
-                    pending.append(key)
+                else:
+                    needed_by.setdefault(key, []).append(job)
+                    if key not in seen:
+                        seen.add(key)
+                        pending.append(key)
             job.runs_cached = cached
             job.runs_executed = len(job.run_keys) - cached
 
-        report = execute_runs(pending, jobs=self.jobs)
+        report = self._execute_batch(pending, needed_by)
+        exec_done_s = self._clock()
         self.metrics.counter("service.runs.executed").inc(report.executed)
         self.metrics.counter("service.runs.cache_hits").inc(
             sum(job.runs_cached for job in jobs)
@@ -225,11 +262,25 @@ class JobScheduler:
         if self.governor is not None and report.executed:
             used = min(resolve_jobs(self.jobs), report.executed)
             self.governor.note_busy(report.execute_s * used)
+        self.ops_log.log(
+            "batch.executed", runs=report.executed, execute_s=report.execute_s,
+            workers=report.workers,
+        )
 
         from ..experiments.common import run_experiment
         from ..experiments.run_all import experiment_kwargs
 
         for job in jobs:
+            job.exec_done_s = exec_done_s
+            job.render_start_s = self._clock()
+            if job.sim_runs:
+                sim_s = sum(
+                    run["wall_end_s"] - run["wall_start_s"]
+                    for run in job.sim_runs
+                )
+                self.metrics.histogram(
+                    "service.job.sim_s", low=1e-3, high=1e4, growth=1.5
+                ).record(max(0.0, sim_s))
             try:
                 with _PLAN_LOCK:
                     results = [
@@ -248,7 +299,55 @@ class JobScheduler:
                 continue
             job.results = [result.as_dict() for result in results]
             self._finish(job, DONE)
-            self.metrics.histogram(
-                "service.job.total_s", low=1e-3, high=1e4, growth=1.5
-            ).record(max(0.0, job.finished_s - job.created_s))
         self.admission.note_service_time((time.monotonic() - started) / len(jobs))
+
+    def _execute_batch(self, pending: List[RunKey], needed_by: dict):
+        """Fan the batch's runs out, threading span context through workers.
+
+        Every run carries the trace ids of the jobs that planned it across
+        the process boundary; the worker stamps its wall-clock window (and,
+        with tracing on, its in-sim event stream) onto that context, and
+        the merge here attaches the result to each interested job.
+        """
+        tracer = Tracer(capacity=self.trace_capacity) if self.trace else None
+
+        def span_context_for(key: RunKey):
+            return {
+                "run": run_label(key),
+                "trace_ids": [job.trace_id for job in needed_by.get(key, [])],
+            }
+
+        def on_run(key: RunKey, events, info) -> None:
+            if info is None:
+                return
+            cap = self.trace_events_per_run
+            serialized = None
+            if events is not None:
+                serialized = [sim_event_dict(event) for event in events[:cap]]
+                overflow = max(0, len(events) - cap)
+                dropped = int(info.get("events_dropped", 0)) + overflow
+                info["events_dropped"] = dropped
+                if dropped:
+                    self.trace_dropped += dropped
+                    self.metrics.counter("service.trace.dropped_events").inc(dropped)
+            for job in needed_by.get(key, []):
+                run_doc = dict(info)
+                run_doc["events"] = serialized
+                job.sim_runs.append(run_doc)
+            self.ops_log.log(
+                "run.executed", run=info.get("run"),
+                traces=info.get("trace_ids"), worker_pid=info.get("worker_pid"),
+                wall_s=round(info["wall_end_s"] - info["wall_start_s"], 6),
+            )
+
+        report = execute_runs(
+            pending,
+            jobs=self.jobs,
+            tracer=tracer,
+            span_context_for=span_context_for,
+            on_run=on_run,
+        )
+        if tracer is not None and tracer.dropped:
+            self.trace_dropped += tracer.dropped
+            self.metrics.counter("service.trace.dropped_events").inc(tracer.dropped)
+        return report

@@ -13,8 +13,13 @@
 ``GET /v1/jobs``                      list live jobs (summaries)
 ``GET /v1/jobs/<id>``                 one job's status document
 ``GET /v1/jobs/<id>/result``          the CLI-equivalent ``--json`` document
+``GET /v1/jobs/<id>/trace``           the job's lifecycle span document
+                                      (``?format=chrome`` for a stitched
+                                      chrome://tracing export)
 ``DELETE /v1/jobs/<id>``              evict a terminal job before its TTL
 ``GET /v1/experiments``               registered experiments (+ plannability)
+``GET /v1/ops``                       one-call operational snapshot
+                                      (what ``hiss-top`` renders)
 ``GET /healthz``                      liveness + drain state
 ``GET /metrics``                      MetricsRegistry snapshot (JSON, or flat
                                       text with ``?format=text``)
@@ -37,14 +42,26 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlparse, parse_qs
 
+from collections import OrderedDict
+
 from ..core import experiment as _experiment
 from ..core.planner import resolve_jobs
 from ..telemetry import MetricsRegistry, render_metrics_text
+from ..telemetry.spans import clean_trace_id, new_trace_id
 from .admission import AdmissionController, RejectedJob, ServiceGovernor
 from .jobs import DONE, TERMINAL_STATES, BadSpec, JobSpec, JobStore
+from .obs import OpsLog, build_stitched_trace, build_trace_document, ops_document
 from .scheduler import JobScheduler, dedupe_key_for, plan_spec
 
 __all__ = ["HissService"]
+
+#: HTTP header a client uses to keep one trace id across back-off rounds.
+TRACE_HEADER = "X-Hiss-Trace-Id"
+
+#: How many rejected traces the back-off ledger remembers (LRU-bounded).
+_BACKOFF_TRACES = 256
+#: Back-off rounds remembered per trace.
+_BACKOFF_ROUNDS_PER_TRACE = 32
 
 
 class HissService:
@@ -70,10 +87,17 @@ class HissService:
         cache_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         verbose: bool = False,
+        trace: bool = True,
+        ops_log: Optional[OpsLog] = None,
     ):
         if cache_dir:
             _experiment.configure_disk_cache(cache_dir)
         self.verbose = verbose
+        #: Capture worker-side in-sim events into job traces.  Lifecycle
+        #: spans and the trace endpoint work either way; ``trace=False``
+        #: only drops the per-run event streams.
+        self.trace_enabled = trace
+        self.ops_log = ops_log if ops_log is not None else OpsLog(None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.governor = ServiceGovernor(
             threshold=qos_threshold,
@@ -93,7 +117,13 @@ class HissService:
             metrics=self.metrics,
             jobs=jobs,
             governor=self.governor,
+            trace=trace,
+            ops_log=self.ops_log,
         )
+        #: Rejected-round ledger: trace id -> back-off spans accumulated
+        #: before admission succeeds (LRU-bounded, lock-protected).
+        self._backoff_lock = threading.Lock()
+        self._backoff_rounds: "OrderedDict[str, list]" = OrderedDict()
         self._draining = False
         self._started_s = time.time()
         self._serve_thread: Optional[threading.Thread] = None
@@ -149,40 +179,110 @@ class HissService:
     # Operations backing the endpoints
     # ------------------------------------------------------------------
     def submit_document(
-        self, doc: Any
+        self, doc: Any, trace_id: Optional[str] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        """Serve one submission; returns ``(status, body, extra_headers)``."""
+        """Serve one submission; returns ``(status, body, extra_headers)``.
+
+        ``trace_id`` is the client's correlation id (the ``X-Hiss-Trace-Id``
+        header) — sent back on a 429 retry it stitches every back-off round
+        into the eventual job's trace.  Absent or malformed, the server
+        mints one; either way the id is echoed in the response body.
+        """
+        received_s = time.time()
+        trace_id = clean_trace_id(trace_id) or new_trace_id()
         if self._draining:
-            return 503, {"error": "draining", "detail": "server is shutting down"}, {}
+            return 503, {"error": "draining", "detail": "server is shutting down",
+                         "trace_id": trace_id}, {}
         from ..experiments.common import REGISTRY
 
         try:
             spec = JobSpec.from_document(doc, REGISTRY)
         except BadSpec as exc:
             self.metrics.counter("service.jobs.bad_spec").inc()
-            return 400, {"error": "bad-spec", "detail": str(exc)}, {}
+            self.ops_log.log("job.bad_spec", trace=trace_id, detail=str(exc))
+            return 400, {"error": "bad-spec", "detail": str(exc),
+                         "trace_id": trace_id}, {}
         run_keys, serial_only = plan_spec(spec)
+        plan_elapsed_s = time.time() - received_s
         dedupe_key = dedupe_key_for(spec, run_keys)
+        prior_rounds = self._take_backoff_rounds(trace_id)
         try:
             job, deduplicated = self.store.submit(
-                spec, dedupe_key, run_keys, serial_only, self.admission.try_admit
+                spec, dedupe_key, run_keys, serial_only, self.admission.try_admit,
+                trace_id=trace_id, received_s=received_s,
+                plan_elapsed_s=plan_elapsed_s,
+                backoff_rounds=prior_rounds,
             )
         except RejectedJob as rejection:
+            rejected_s = time.time()
             self.metrics.counter(
                 "service.jobs.rejected_" + rejection.reason.replace("-", "_")
             ).inc()
+            # Hand the consumed history back, then append this round, so
+            # the eventually-admitted job sees every 429 it sat out.
+            self._note_backoff_round(
+                trace_id, received_s, rejected_s, rejection, prior_rounds
+            )
+            self.ops_log.log(
+                "job.rejected", trace=trace_id, reason=rejection.reason,
+                retry_after_s=rejection.retry_after_s,
+            )
             body = {
                 "error": rejection.reason,
                 "detail": str(rejection),
                 "retry_after_s": rejection.retry_after_s,
+                "trace_id": trace_id,
             }
-            return 429, body, {"Retry-After": f"{rejection.retry_after_s:.3f}"}
+            headers = {
+                "Retry-After": f"{rejection.retry_after_s:.3f}",
+                TRACE_HEADER: trace_id,
+            }
+            return 429, body, headers
         if deduplicated:
             self.metrics.counter("service.jobs.deduplicated").inc()
-            return 200, {"deduplicated": True, "job": job.as_dict()}, {}
+            self.ops_log.log(
+                "job.deduplicated", trace=trace_id, job=job.id,
+                job_trace=job.trace_id, submissions=job.submissions,
+            )
+            return 200, {"deduplicated": True, "trace_id": job.trace_id,
+                         "job": job.as_dict()}, {}
         self.metrics.counter("service.jobs.submitted").inc()
         self.metrics.counter("service.runs.planned").inc(len(run_keys))
-        return 202, {"deduplicated": False, "job": job.as_dict()}, {}
+        self.metrics.histogram(
+            "service.submit.plan_s", low=1e-4, high=1e2, growth=1.5
+        ).record(plan_elapsed_s)
+        self.ops_log.log(
+            "job.admitted", trace=trace_id, job=job.id,
+            planned_runs=len(run_keys), queue_depth=self.admission.depth(),
+            backoff_rounds=len(job.backoff_rounds), plan_s=round(plan_elapsed_s, 6),
+        )
+        return 202, {"deduplicated": False, "trace_id": trace_id,
+                     "job": job.as_dict()}, {}
+
+    def _note_backoff_round(
+        self, trace_id: str, received_s: float, rejected_s: float,
+        rejection: RejectedJob, prior_rounds: Optional[list] = None,
+    ) -> None:
+        """Remember one 429 round so the eventual job's trace includes it."""
+        round_doc = {
+            "received_s": received_s,
+            "rejected_s": rejected_s,
+            "reason": rejection.reason,
+            "retry_after_s": rejection.retry_after_s,
+        }
+        with self._backoff_lock:
+            rounds = self._backoff_rounds.setdefault(trace_id, [])
+            self._backoff_rounds.move_to_end(trace_id)
+            if prior_rounds:
+                rounds[:0] = prior_rounds
+            if len(rounds) < _BACKOFF_ROUNDS_PER_TRACE:
+                rounds.append(round_doc)
+            while len(self._backoff_rounds) > _BACKOFF_TRACES:
+                self._backoff_rounds.popitem(last=False)
+
+    def _take_backoff_rounds(self, trace_id: str) -> list:
+        with self._backoff_lock:
+            return self._backoff_rounds.pop(trace_id, [])
 
     def health_document(self) -> Dict[str, Any]:
         return {
@@ -210,6 +310,12 @@ class HissService:
             gauges["service.disk_cache.hits"] = float(hits)
             gauges["service.disk_cache.misses"] = float(misses)
             gauges["service.disk_cache.stores"] = float(stores)
+            lookups = hits + misses
+            gauges["service.disk_cache.hit_rate"] = (
+                hits / lookups if lookups else 0.0
+            )
+        gauges["service.trace.enabled"] = float(self.trace_enabled)
+        gauges["service.trace.dropped_events"] = float(self.scheduler.trace_dropped)
         return gauges
 
     def metrics_document(self) -> Dict[str, Any]:
@@ -295,16 +401,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, service.metrics_document())
         elif path == "/v1/experiments":
             self._send_json(200, service.experiments_document())
+        elif path == "/v1/ops":
+            self._send_json(200, ops_document(service))
         elif path == "/v1/jobs":
             self._send_json(
                 200, {"jobs": [job.as_dict() for job in service.store.jobs()]}
             )
         elif path.startswith("/v1/jobs/"):
-            self._get_job(path[len("/v1/jobs/"):])
+            self._get_job(path[len("/v1/jobs/"):], parse_qs(parsed.query))
         else:
             self._send_json(404, {"error": "not-found", "detail": path})
 
-    def _get_job(self, rest: str) -> None:
+    def _get_job(self, rest: str, query: Dict[str, list]) -> None:
         service = self.service
         job_id, _, tail = rest.partition("/")
         job = service.store.get(job_id)
@@ -322,6 +430,11 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 # Exactly the document `hiss-experiments ... --json` writes.
                 self._send_json(200, job.results, indent=2)
+        elif tail == "trace":
+            if query.get("format", ["spans"])[0] == "chrome":
+                self._send_json(200, build_stitched_trace(job))
+            else:
+                self._send_json(200, build_trace_document(job))
         else:
             self._send_json(404, {"error": "not-found", "detail": rest})
 
@@ -337,7 +450,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError) as exc:
             self._send_json(400, {"error": "bad-json", "detail": str(exc)})
             return
-        status, body, headers = service.submit_document(doc)
+        status, body, headers = service.submit_document(
+            doc, trace_id=self.headers.get(TRACE_HEADER)
+        )
         self._send_json(status, body, headers=headers)
 
     def do_DELETE(self) -> None:  # noqa: N802

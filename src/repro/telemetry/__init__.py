@@ -10,6 +10,9 @@ Three cooperating pieces (see ``docs/observability.md``):
 * :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (open in
   Perfetto / ``chrome://tracing``) and aligned-text timeline summaries,
   surfaced via the ``hiss-trace`` CLI and ``hiss-experiments --trace``.
+* :mod:`repro.telemetry.spans` — wall-clock lifecycle spans with trace
+  ids for the serving tier: span documents, validation, and stitching of
+  service spans with in-sim event streams into one Chrome trace.
 
 This package sits *below* the simulation layers (it imports nothing from
 them), so every layer can hold a tracer reference without import cycles.
@@ -32,6 +35,16 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .spans import (
+    Span,
+    SpanRecorder,
+    clean_trace_id,
+    new_span_id,
+    new_trace_id,
+    stitched_chrome_trace,
+    trace_document,
+    validate_trace_document,
+)
 
 __all__ = [
     "Counter",
@@ -39,14 +52,22 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "Span",
+    "SpanRecorder",
     "TraceEvent",
     "Tracer",
     "chrome_trace_dict",
+    "clean_trace_id",
     "get_active_tracer",
+    "new_span_id",
+    "new_trace_id",
     "render_metrics_text",
     "render_timeline",
     "set_active_tracer",
+    "stitched_chrome_trace",
     "timeline_summary",
+    "trace_document",
     "validate_chrome_trace",
+    "validate_trace_document",
     "write_chrome_trace",
 ]

@@ -3,6 +3,7 @@
 Subcommands::
 
     hiss-trace validate out.json          # schema check; exit 1 on problems
+    hiss-trace validate --spans job.json  # job span document (service tier)
     hiss-trace summary out.json           # per-track span time / event counts
     hiss-trace timeline out.json --track "core 0" --limit 40
 
@@ -44,6 +45,20 @@ def _track_names(doc: Dict) -> Dict[int, str]:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     doc = _load(args.trace)
+    if args.spans:
+        from .spans import validate_trace_document
+
+        errors = validate_trace_document(doc)
+        if errors:
+            for error in errors:
+                print(f"INVALID: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {args.trace} (trace {doc.get('trace_id')}, "
+            f"{len(doc.get('spans', []))} spans, "
+            f"{len(doc.get('sim', []))} sim run(s))"
+        )
+        return 0
     errors = validate_chrome_trace(doc)
     if errors:
         for error in errors:
@@ -133,6 +148,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     validate = subparsers.add_parser("validate", help="schema-check a trace file")
     validate.add_argument("trace", help="path to a trace JSON file")
+    validate.add_argument(
+        "--spans", action="store_true",
+        help="treat the file as a job span document (GET /v1/jobs/<id>/trace) "
+        "instead of Chrome-trace JSON",
+    )
     validate.set_defaults(fn=_cmd_validate)
 
     summary = subparsers.add_parser("summary", help="per-track span time and counts")

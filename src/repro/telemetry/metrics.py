@@ -18,7 +18,12 @@ import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "SUMMARY_PERCENTILES"]
+
+#: The percentiles every summary in the repo reports, in order.  Shared
+#: by :meth:`Histogram.summary`, ``core.tracing.format_breakdown``, and
+#: the exporters so the p50/p95/p99 column set is defined exactly once.
+SUMMARY_PERCENTILES = (50, 95, 99)
 
 
 class Counter:
@@ -124,20 +129,33 @@ class Histogram:
 
     def percentiles(self) -> Dict[str, float]:
         return {
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            f"p{p}": self.quantile(p / 100.0) for p in SUMMARY_PERCENTILES
         }
 
-    def snapshot(self) -> Dict[str, float]:
-        """Summary dict (the exporters embed this in trace metadata)."""
+    def summary(self) -> Dict[str, object]:
+        """Structured summary: count/sum/min/max/mean + a percentiles dict.
+
+        The single source of truth for "what does a histogram look like
+        summarized" — :meth:`snapshot`, the SSR stage breakdown in
+        :mod:`repro.core.tracing`, and the service's ``/v1/ops`` tail
+        latencies are all flattenings of this shape.
+        """
         return {
             "count": self.count,
+            "sum": self.sum,
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
-            **self.percentiles(),
+            "percentiles": self.percentiles(),
         }
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat summary dict (the exporters embed this in trace metadata)."""
+        summary = self.summary()
+        percentiles = summary.pop("percentiles")
+        summary.pop("sum")  # legacy flat shape: count/mean/min/max + pNN
+        summary.update(percentiles)
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"

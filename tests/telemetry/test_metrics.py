@@ -87,6 +87,26 @@ class TestHistogram:
         assert set(snapshot) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
         assert snapshot["p50"] <= snapshot["p95"] <= snapshot["p99"] <= snapshot["max"]
 
+    def test_summary_nests_percentiles_and_agrees_with_snapshot(self):
+        from repro.telemetry.metrics import SUMMARY_PERCENTILES
+
+        histogram = Histogram("lat")
+        for value in range(1, 101):
+            histogram.record(float(value))
+        summary = histogram.summary()
+        assert set(summary) == {"count", "sum", "mean", "min", "max", "percentiles"}
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert set(summary["percentiles"]) == {f"p{p}" for p in SUMMARY_PERCENTILES}
+        snapshot = histogram.snapshot()
+        for p in SUMMARY_PERCENTILES:
+            assert summary["percentiles"][f"p{p}"] == snapshot[f"p{p}"]
+
+    def test_summary_empty(self):
+        summary = Histogram("lat").summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+
 
 class TestRegistry:
     def test_create_on_demand_and_identity(self):

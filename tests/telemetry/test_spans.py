@@ -1,0 +1,194 @@
+"""Unit tests for the lifecycle span layer (repro.telemetry.spans)."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.spans import (
+    SPAN_SCHEMA,
+    Span,
+    SpanRecorder,
+    clean_trace_id,
+    new_span_id,
+    new_trace_id,
+    stitched_chrome_trace,
+    trace_document,
+    validate_trace_document,
+)
+from repro.telemetry.export import validate_chrome_trace
+
+
+class TestIds:
+    def test_trace_and_span_ids_are_hex_and_unique(self):
+        trace_ids = {new_trace_id() for _ in range(64)}
+        assert len(trace_ids) == 64
+        for trace_id in trace_ids:
+            assert clean_trace_id(trace_id) == trace_id
+        span_ids = {new_span_id() for _ in range(64)}
+        assert len(span_ids) == 64
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, 7, "", "short", "UPPERCASEHEX00", "not-hex-chars!", "g" * 16, "a" * 33],
+    )
+    def test_clean_trace_id_rejects_garbage(self, bad):
+        assert clean_trace_id(bad) is None
+
+    def test_clean_trace_id_normalizes(self):
+        assert clean_trace_id("  AB12CD34  ") == "ab12cd34"
+
+
+class TestSpanRecorder:
+    def test_record_and_document(self):
+        recorder = SpanRecorder(trace_id="ab12cd34ab12cd34")
+        recorder.record("submit", "submit", 10.0, 10.5)
+        recorder.record("queue.wait", "queue", 10.5, 12.0, status="ok")
+        doc = trace_document(recorder, extra={"job_id": "job-1"})
+        assert doc["schema"] == SPAN_SCHEMA
+        assert doc["trace_id"] == "ab12cd34ab12cd34"
+        assert doc["job_id"] == "job-1"
+        assert [s["name"] for s in doc["spans"]] == ["submit", "queue.wait"]
+        assert doc["dropped_spans"] == 0
+        assert validate_trace_document(doc) == []
+
+    def test_rejects_negative_interval(self):
+        recorder = SpanRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("x", "y", 2.0, 1.0)
+
+    def test_context_manager_times_and_marks_errors(self):
+        clock_values = iter([1.0, 2.0, 3.0, 4.5])
+        recorder = SpanRecorder(clock=lambda: next(clock_values))
+        with recorder.span("ok-span", "test"):
+            pass
+        with pytest.raises(RuntimeError):
+            with recorder.span("bad-span", "test"):
+                raise RuntimeError("boom")
+        ok, bad = recorder.spans()
+        assert (ok.start_s, ok.end_s, ok.status) == (1.0, 2.0, "ok")
+        assert (bad.start_s, bad.end_s, bad.status) == (3.0, 4.5, "error")
+
+    def test_capacity_drops_are_counted_never_silent(self):
+        recorder = SpanRecorder(capacity=2)
+        for index in range(5):
+            recorder.record(f"s{index}", "test", 0.0, 1.0)
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        doc = trace_document(recorder)
+        assert doc["dropped_spans"] == 3
+
+    def test_thread_safety_under_contention(self):
+        recorder = SpanRecorder(capacity=10_000)
+
+        def hammer():
+            for _ in range(200):
+                recorder.record("s", "test", 0.0, 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorder) + recorder.dropped == 8 * 200
+
+
+class TestValidation:
+    def _valid_doc(self):
+        recorder = SpanRecorder(trace_id="ab12cd34ab12cd34")
+        recorder.record("root", "job", 1.0, 3.0)
+        return trace_document(recorder)
+
+    def test_rejects_non_object(self):
+        assert validate_trace_document([1, 2]) != []
+        assert validate_trace_document(None) != []
+
+    def test_rejects_wrong_schema_and_trace_id(self):
+        doc = self._valid_doc()
+        doc["schema"] = 99
+        doc["trace_id"] = "NOT HEX"
+        errors = validate_trace_document(doc)
+        assert any("schema" in e for e in errors)
+        assert any("trace_id" in e for e in errors)
+
+    def test_rejects_span_problems(self):
+        doc = self._valid_doc()
+        span = dict(doc["spans"][0])
+        span["end_s"] = span["start_s"] - 1.0
+        doc["spans"].append(span)  # also a duplicate span_id
+        errors = validate_trace_document(doc)
+        assert any("end_s" in e for e in errors)
+        assert any("duplicate span_id" in e for e in errors)
+
+    def test_rejects_orphan_parent(self):
+        doc = self._valid_doc()
+        doc["spans"][0]["parent_id"] = "nope"
+        assert any("parent_id" in e for e in validate_trace_document(doc))
+
+    def test_open_span_is_valid(self):
+        doc = self._valid_doc()
+        doc["spans"][0]["end_s"] = None  # in-flight job: open root span
+        assert validate_trace_document(doc) == []
+
+
+class TestStitching:
+    def _doc_with_sim(self):
+        recorder = SpanRecorder(trace_id="ab12cd34ab12cd34")
+        recorder.record("job", "job", 100.0, 110.0)
+        recorder.record("batch.execute", "batch", 101.0, 109.0)
+        doc = trace_document(recorder, extra={"job_id": "job-1"})
+        doc["sim"] = [
+            {
+                "run": "runA",
+                "trace_id": doc["trace_id"],
+                "wall_start_s": 102.0,
+                "wall_end_s": 104.0,
+                "worker_pid": 4242,
+                "events_dropped": 0,
+                "events": [
+                    {"ph": "X", "name": "slice", "cat": "gpu", "track": "gpu",
+                     "ts_ns": 1000.0, "dur_ns": 500.0},
+                    {"ph": "i", "name": "mark", "cat": "gpu", "track": "gpu",
+                     "ts_ns": 2000.0},
+                    {"ph": "C", "name": "depth", "cat": "q", "track": "iommu",
+                     "ts_ns": 1500.0, "args": {"value": 3}},
+                ],
+            }
+        ]
+        return doc
+
+    def test_stitched_trace_is_valid_chrome_json(self):
+        chrome = stitched_chrome_trace(self._doc_with_sim(), label="test")
+        assert validate_chrome_trace(chrome) == []
+        assert chrome["otherData"]["trace_id"] == "ab12cd34ab12cd34"
+
+    def test_service_and_sim_tracks_are_separate_pids(self):
+        chrome = stitched_chrome_trace(self._doc_with_sim())
+        pids = {e["pid"] for e in chrome["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_timestamps_monotonic_per_track_and_sim_aligned(self):
+        chrome = stitched_chrome_trace(self._doc_with_sim())
+        last_ts = {}
+        for event in chrome["traceEvents"]:
+            if event.get("ph") == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= 0.0
+            assert event["ts"] >= last_ts.get(key, 0.0)
+            last_ts[key] = event["ts"]
+        # sim time zero is aligned at the run's wall start: 102s is 2s
+        # after the earliest span start (100s), so the first sim event
+        # (ts_ns=1000) lands at 2s + 1us.
+        sim_slices = [
+            e for e in chrome["traceEvents"]
+            if e["pid"] == 1 and e.get("ph") == "X"
+        ]
+        assert sim_slices[0]["ts"] == pytest.approx(2e6 + 1.0)
+
+    def test_open_spans_are_skipped_in_chrome_form(self):
+        doc = self._doc_with_sim()
+        doc["spans"][0]["end_s"] = None
+        chrome = stitched_chrome_trace(doc)
+        assert validate_chrome_trace(chrome) == []
+        names = {e["name"] for e in chrome["traceEvents"] if e.get("ph") == "X"}
+        assert "job" not in names
