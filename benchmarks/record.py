@@ -61,6 +61,49 @@ def figure_kwargs(experiment_id: str, horizon_ns: int) -> dict:
     return kwargs
 
 
+def record_profile_overhead(figure: str, kwargs_for) -> dict:
+    """Time one figure's run set with attribution off, then on.
+
+    Both passes simulate the same keys serially from a cold in-memory
+    cache; the on-pass builds a fresh per-run
+    :class:`~repro.profiling.Profiler` exactly like ``--profile`` does.
+    The delta is the ledger/sampler bookkeeping — the number
+    docs/observability.md quotes as the profiler's overhead.
+    """
+    from repro.core.experiment import simulate_run
+    from repro.core.planner import plan_runs
+    from repro.profiling import Profiler
+
+    keys, skipped = plan_runs([figure], kwargs_for, unplannable=UNPLANNABLE)
+    if not keys:
+        return {"figure": figure, "runs": 0, "skipped": skipped}
+    clear_cache()
+    start = time.time()
+    for key in keys:
+        simulate_run(key)
+    off_s = time.time() - start
+    clear_cache()
+    start = time.time()
+    for key in keys:
+        simulate_run(key, profiler=Profiler())
+    on_s = time.time() - start
+    clear_cache()
+    doc = {
+        "figure": figure,
+        "runs": len(keys),
+        "profiler_off_s": round(off_s, 3),
+        "profiler_on_s": round(on_s, 3),
+    }
+    if off_s > 0:
+        doc["overhead_pct"] = round(100.0 * (on_s - off_s) / off_s, 1)
+    print(
+        f"profile overhead ({figure}, {len(keys)} runs): "
+        f"off {off_s:.2f}s, on {on_s:.2f}s"
+        + (f" (+{doc['overhead_pct']:.1f}%)" if "overhead_pct" in doc else "")
+    )
+    return doc
+
+
 def record_service(figures, args) -> dict:
     """Serve ``figures`` through an in-process daemon; return its latencies.
 
@@ -139,6 +182,11 @@ def main(argv=None) -> int:
         help="also serve the figures through an in-process HissService and "
         "record its stage latencies (queue_wait/sim/e2e)",
     )
+    parser.add_argument(
+        "--profile-figure", default="fig4", metavar="ID",
+        help="figure whose runs are timed profiler-off vs profiler-on "
+        "(empty string skips the comparison)",
+    )
     args = parser.parse_args(argv)
 
     figures = args.figures or list(DEFAULT_ORDER)
@@ -180,6 +228,11 @@ def main(argv=None) -> int:
         snapshot["figures"][experiment_id] = round(result.elapsed_s, 3)
         print(f"{experiment_id}: {result.elapsed_s:.2f}s")
     snapshot["total_s"] = round(time.time() - total_start, 3)
+
+    if args.profile_figure:
+        snapshot["profile_overhead"] = record_profile_overhead(
+            args.profile_figure, kwargs_for
+        )
 
     if args.service:
         snapshot["service"] = record_service(figures, args)

@@ -79,15 +79,16 @@ def make_run_key(
     return (cpu_name, gpu_name, bool(ssr_enabled), config, horizon_ns)
 
 
-def simulate_run(key: RunKey, tracer=None) -> SystemMetrics:
+def simulate_run(key: RunKey, tracer=None, profiler=None) -> SystemMetrics:
     """Build and execute the system described by ``key`` (no caching).
 
     This is the single simulation entry point shared by the serial path
     and the pool workers, so a parallel run is the same computation as a
-    serial one — bit for bit.
+    serial one — bit for bit.  ``tracer`` and ``profiler`` are pure side
+    channels: passing either never changes the returned metrics.
     """
     cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
-    system = System(config, tracer=tracer)
+    system = System(config, tracer=tracer, profiler=profiler)
     if cpu_name is not None:
         system.add_cpu_app(parsec(cpu_name))
     if gpu_name is not None:

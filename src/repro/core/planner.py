@@ -126,8 +126,13 @@ def plan_runs(
     return ordered, skipped
 
 
-def _worker_run(key: RunKey, trace_capacity: int, span_context: Optional[dict] = None):
-    """Pool worker: simulate one run; optionally capture its trace.
+def _worker_run(
+    key: RunKey,
+    trace_capacity: int,
+    span_context: Optional[dict] = None,
+    profile: bool = False,
+):
+    """Pool worker: simulate one run; optionally capture trace/profile.
 
     ``span_context`` is the serving tier's cross-process trace baggage
     (trace ids, run label).  The worker never reads it — it only stamps
@@ -135,23 +140,36 @@ def _worker_run(key: RunKey, trace_capacity: int, span_context: Optional[dict] =
     can merge a worker-side span into the right end-to-end trace.  It is
     deliberately kept out of :func:`simulate_run`: tracing identity must
     never influence simulated results.
+
+    With ``profile=True`` the run is attributed into a private
+    :class:`~repro.profiling.Profiler` and the resulting run document is
+    shipped back under ``info["profile"]`` (profiling, like tracing,
+    never changes the metrics).
     """
     tracer = None
     if trace_capacity:
         from ..telemetry import Tracer
 
         tracer = Tracer(capacity=trace_capacity)
+    profiler = None
+    if profile:
+        from ..profiling import Profiler
+
+        profiler = Profiler()
     wall_start_s = time.time()
-    metrics = _experiment.simulate_run(key, tracer=tracer)
+    metrics = _experiment.simulate_run(key, tracer=tracer, profiler=profiler)
     wall_end_s = time.time()
     events = list(tracer.events()) if tracer is not None else None
     info = None
-    if span_context is not None:
-        info = dict(span_context)
+    if span_context is not None or profiler is not None:
+        info = dict(span_context or {})
+        info.setdefault("run", run_label(key))
         info["wall_start_s"] = wall_start_s
         info["wall_end_s"] = wall_end_s
         info["worker_pid"] = os.getpid()
         info["events_dropped"] = tracer.dropped if tracer is not None else 0
+        if profiler is not None:
+            info["profile"] = profiler.take_document()
     return metrics, events, info
 
 
@@ -183,6 +201,8 @@ def execute_runs(
     report: Optional[PrewarmReport] = None,
     span_context_for: Optional[Callable[[RunKey], Optional[dict]]] = None,
     on_run: Optional[Callable[[RunKey, Optional[list], Optional[dict]], None]] = None,
+    profile_keys: Optional[set] = None,
+    collector=None,
 ) -> PrewarmReport:
     """Simulate ``keys`` on a worker pool, filling both cache levels.
 
@@ -194,18 +214,26 @@ def execute_runs(
     worker carries across the process boundary and returns stamped with
     its wall-clock window; ``on_run`` receives each executed run's
     ``(key, captured events, stamped context)`` as it completes.
+
+    Keys in ``profile_keys`` are simulated *even when cached* — a profile
+    only exists for an executed run — with attribution captured in the
+    worker; each resulting run document is added to ``collector`` (a
+    :class:`~repro.profiling.ProfileCollector`) when one is given, and is
+    always available to ``on_run`` via ``info["profile"]``.
     """
     report = report or PrewarmReport()
     report.workers = resolve_jobs(jobs)
     start = time.time()
+    profile_keys = profile_keys or set()
     pending: List[RunKey] = []
     for key in keys:
-        if key in _experiment._CACHE:
-            report.memory_hits += 1
-            continue
-        if _experiment.cache_lookup(key) is not None:
-            report.disk_hits += 1
-            continue
+        if key not in profile_keys:
+            if key in _experiment._CACHE:
+                report.memory_hits += 1
+                continue
+            if _experiment.cache_lookup(key) is not None:
+                report.disk_hits += 1
+                continue
         pending.append(key)
 
     capture = trace_capacity if tracer is not None and tracer.enabled else 0
@@ -217,19 +245,26 @@ def execute_runs(
         _experiment.cache_store(key, metrics)
         if events:
             _merge_worker_trace(tracer, run_label(key), events)
+        if collector is not None and info and info.get("profile"):
+            collector.add(info["profile"])
         if on_run is not None:
             on_run(key, events, info)
         report.executed += 1
 
     if report.workers == 1 or len(pending) <= 1:
         for key in pending:
-            metrics, events, info = _worker_run(key, capture, context_for(key))
+            metrics, events, info = _worker_run(
+                key, capture, context_for(key), profile=key in profile_keys
+            )
             completed(key, metrics, events, info)
     else:
         workers = min(report.workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_worker_run, key, capture, context_for(key)): key
+                pool.submit(
+                    _worker_run, key, capture, context_for(key),
+                    key in profile_keys,
+                ): key
                 for key in pending
             }
             for future in as_completed(futures):
@@ -247,8 +282,13 @@ def prewarm_experiments(
     tracer=None,
     registry: Optional[Dict[str, Callable]] = None,
     unplannable: Iterable[str] = (),
+    collector=None,
 ) -> PrewarmReport:
-    """Plan + execute: after this, running the experiments is cache-only."""
+    """Plan + execute: after this, running the experiments is cache-only.
+
+    With a ``collector``, every planned run is executed with attribution
+    (cached or not) and its profile document lands in the collector.
+    """
     report = PrewarmReport(experiments=list(experiment_ids))
     start = time.time()
     keys, skipped = plan_runs(
@@ -257,4 +297,8 @@ def prewarm_experiments(
     report.plan_s = time.time() - start
     report.planned = len(keys)
     report.unplannable = skipped
-    return execute_runs(keys, jobs, tracer=tracer, report=report)
+    profile_keys = set(keys) if collector is not None else None
+    return execute_runs(
+        keys, jobs, tracer=tracer, report=report,
+        profile_keys=profile_keys, collector=collector,
+    )

@@ -13,6 +13,7 @@ from ..config import SystemConfig
 from ..gpu import GpuDevice, SignalPath
 from ..iommu import Iommu, IommuDriver
 from ..oskernel import Kernel, accounting as acct
+from ..profiling import NULL_PROFILER, get_active_collector
 from ..qos import AdaptiveQosGovernor, QosGovernor
 from ..sim import Environment, RngRegistry
 from ..telemetry import get_active_tracer
@@ -27,7 +28,7 @@ DEFAULT_HORIZON_NS = 50_000_000
 class System:
     """A simulated heterogeneous SoC: CPUs + OS + IOMMU + GPU(s)."""
 
-    def __init__(self, config: Optional[SystemConfig] = None, tracer=None):
+    def __init__(self, config: Optional[SystemConfig] = None, tracer=None, profiler=None):
         self.config = config or SystemConfig()
         self.env = Environment()
         self.rng = RngRegistry(self.config.seed)
@@ -35,7 +36,21 @@ class System:
         #: active tracer (set by ``hiss-experiments --trace``), which
         #: defaults to the no-op NULL_TRACER.
         self.tracer = tracer if tracer is not None else get_active_tracer()
-        self.kernel = Kernel(self.env, self.config, self.rng, tracer=self.tracer)
+        #: Attribution sink: an explicit profiler wins; otherwise the
+        #: process active collector (set by ``hiss-experiments
+        #: --profile``) hands out a fresh per-run profiler, defaulting to
+        #: the no-op NULL_PROFILER.  Profiling is a pure side channel:
+        #: metrics are byte-for-byte identical with it on or off.
+        if profiler is None:
+            collector = get_active_collector()
+            profiler = (
+                collector.new_profiler() if collector is not None else NULL_PROFILER
+            )
+        self.profiler = profiler
+        self.kernel = Kernel(
+            self.env, self.config, self.rng,
+            tracer=self.tracer, ledger=self.profiler.ledger,
+        )
         self.iommu = Iommu(self.kernel)
         self.driver = IommuDriver(self.kernel, self.iommu)
         self.signal_path = SignalPath(self.kernel)
@@ -80,8 +95,12 @@ class System:
             self.cpu_app.start()
         for gpu in self.gpus:
             gpu.start()
+        if self.profiler.enabled:
+            self.profiler.start(self)
         self.env.run(until=horizon_ns)
         self.kernel.finalize()
+        if self.profiler.enabled:
+            self.profiler.finish_run(self, horizon_ns)
         return self._collect(horizon_ns)
 
     def _collect(self, horizon_ns: int) -> SystemMetrics:

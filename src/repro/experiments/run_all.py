@@ -161,6 +161,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="trace ring-buffer size in events (oldest dropped beyond this)",
     )
     parser.add_argument(
+        "--profile", metavar="FILE", default=None,
+        help="attribute every simulated run's SSR interference (blame "
+        "ledger + sim-time samples) and write the profile bundle as JSON "
+        "(render with hiss-report; already-cached runs are re-simulated "
+        "so every run gets a profile)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="simulate runs on N worker processes (0 = one per CPU core; "
         "default 1 = serial; results are identical either way)",
@@ -197,6 +204,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = Tracer(capacity=args.trace_capacity)
         set_active_tracer(tracer)
 
+    collector = None
+    if args.profile:
+        from ..profiling import ProfileCollector, set_active_collector
+
+        collector = ProfileCollector()
+        # Systems built outside the planned grid (e.g. table1's inline
+        # simulations) pick the collector up as the process default.
+        set_active_collector(collector)
+
     if args.cache_dir:
         from ..core import configure_disk_cache
 
@@ -207,7 +223,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             experiment_id, quick=args.quick, horizon_ms=args.horizon_ms
         )
 
-    if args.jobs != 1:
+    # Profiling forces the plan/execute path even serially: a profile only
+    # exists for an *executed* run, so cached keys must be re-simulated.
+    if args.jobs != 1 or collector is not None:
         from ..core import prewarm_experiments
 
         report = prewarm_experiments(
@@ -216,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             tracer=tracer,
             unplannable=UNPLANNABLE,
+            collector=collector,
         )
         print(report.summary())
         print()
@@ -251,6 +270,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"wrote {args.trace} ({len(tracer)} events, {tracer.dropped} dropped; "
             f"inspect with 'hiss-trace summary {args.trace}')"
+        )
+    if collector is not None:
+        from ..profiling import set_active_collector
+
+        set_active_collector(None)
+        bundle = collector.bundle(
+            meta={
+                "experiments": targets,
+                "quick": args.quick,
+                "horizon_ms": args.horizon_ms,
+            }
+        )
+        with open(args.profile, "w") as handle:
+            json.dump(bundle, handle)
+        print(
+            f"wrote {args.profile} ({len(collector)} run profile(s); render "
+            f"with 'hiss-report render {args.profile} -o report.html')"
         )
     return 0
 

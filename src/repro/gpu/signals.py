@@ -38,6 +38,7 @@ class SignalPath:
         def top_half_action(core) -> None:
             item = WorkItem(
                 name="gpu-signal",
+                ssr_kind="signal",
                 service_ns=self.kind.service_ns + os_path.response_ns,
                 on_done=lambda kernel: self._complete(done, issued_at),
                 is_ssr=True,

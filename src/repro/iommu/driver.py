@@ -19,6 +19,7 @@ from typing import Generator, List, TYPE_CHECKING
 
 from ..oskernel import accounting as acct
 from ..oskernel.thread import KIND_KTHREAD, PRIO_KTHREAD, Thread
+from ..profiling.ledger import CH_BOTTOM_HALF
 from ..oskernel.irq import Irq
 from ..oskernel.workqueue import WorkItem
 from ..sim import Store
@@ -172,15 +173,20 @@ class IommuDriver:
             tracer.metrics.histogram("ssr.bh_batch_size", low=1.0, high=1e4).record(
                 len(requests)
             )
-        self.kernel.ssr_accounting.add(cost)
         if thread.core is not None:
             footprint = os_path.bottom_half_footprint
             thread.core._run_kernel_window(
                 footprint[0], footprint[1], thread.core.last_thread
             )
             origin = thread.core.id
+            displaced = thread.core.last_thread
         else:  # pragma: no cover - run_for leaves the thread on-core
             origin = thread.last_core_id or 0
+            displaced = None
+        self.kernel.charge_ssr(
+            cost, CH_BOTTOM_HALF, "iommu-ppr", origin,
+            victim=displaced.name if displaced is not None else None,
+        )
         self._queue_requests(origin, requests)
 
     def _queue_requests(self, origin_core_id: int, requests: List[SsrRequest]) -> None:
@@ -195,6 +201,7 @@ class IommuDriver:
             request.stages["queued"] = self.kernel.env.now
             item = WorkItem(
                 name=f"ssr-{request.request_id}",
+                ssr_kind=request.kind.name,
                 service_ns=service_ns + os_path.response_ns,
                 on_start=lambda kernel, r=request: r.stages.__setitem__(
                     "service_start", kernel.env.now

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator, TYPE_CHECKING
 
 from ..oskernel.thread import KIND_KTHREAD, PRIO_KTHREAD, Thread
+from ..profiling.ledger import CH_POLL
 
 if TYPE_CHECKING:  # pragma: no cover
     from .driver import IommuDriver
@@ -57,7 +58,18 @@ class PollingThread(Thread):
                 # The poll itself costs CPU even when nothing arrived --
                 # the structural downside of polling for sparse SSRs.
                 yield from self.run_for(EMPTY_POLL_COST_NS)
-                self.kernel.ssr_accounting.add(EMPTY_POLL_COST_NS)
+                core = self.core
+                self.kernel.charge_ssr(
+                    EMPTY_POLL_COST_NS,
+                    CH_POLL,
+                    "iommu-ppr",
+                    core.id if core is not None else self.pinned_core,
+                    victim=(
+                        core.last_thread.name
+                        if core is not None and core.last_thread is not None
+                        else None
+                    ),
+                )
                 if self.core is not None:
                     self._release_cpu(requeue=False)
                 continue

@@ -33,17 +33,29 @@ class TimeAccounting:
         self.num_cores = num_cores
         self._buckets: List[Counter] = [Counter() for _ in range(num_cores)]
 
+    def _check_core(self, core_id: int) -> None:
+        # Out-of-range ids must fail loudly: a negative index would
+        # silently charge the *last* core via Python list indexing,
+        # corrupting the conservation-of-time invariant undetectably.
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(
+                f"core_id {core_id} outside [0, {self.num_cores})"
+            )
+
     def add(self, core_id: int, mode: str, ns: int) -> None:
         if ns < 0:
             raise ValueError(f"negative duration {ns}")
         if mode not in ALL_MODES:
             raise ValueError(f"unknown mode {mode!r}")
+        self._check_core(core_id)
         self._buckets[core_id][mode] += ns
 
     def core_total(self, core_id: int) -> int:
+        self._check_core(core_id)
         return sum(self._buckets[core_id].values())
 
     def core_mode(self, core_id: int, mode: str) -> int:
+        self._check_core(core_id)
         return self._buckets[core_id][mode]
 
     def total(self, mode: str) -> int:

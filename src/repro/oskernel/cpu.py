@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple, TYPE_CHECKING
 
+from ..profiling.ledger import CH_IPI, CH_MODE_SWITCH, CH_TOP_HALF
 from ..uarch import AddressStreamSpec, BranchStreamSpec, CoreUarchState
 from . import accounting as acct
 from .thread import KIND_IDLE, KIND_USER, PRIO_IDLE, PRIO_KTHREAD, PRIO_NORMAL, Thread
@@ -237,11 +238,21 @@ class Core:
         """
         if not self.pending_irqs:
             return
-        os_path = self.config.os_path
         is_user = thread.kind == KIND_USER
+        ledger = self.kernel.ledger
+        mode_switch_ns = self.config.scheduler.mode_switch_ns
         if is_user:
-            yield from self._charge(acct.SWITCH, thread, self.config.scheduler.mode_switch_ns)
+            # Attribute the entry crossing if an SSR interrupt is what the
+            # drain is about to service (late arrivals charge on exit).
+            if ledger.enabled:
+                entry_ssr = next((i.name for i in self.pending_irqs if i.is_ssr), None)
+                if entry_ssr is not None:
+                    ledger.charge(
+                        entry_ssr, CH_MODE_SWITCH, thread.name, self.id, mode_switch_ns
+                    )
+            yield from self._charge(acct.SWITCH, thread, mode_switch_ns)
         tracer = self.kernel.tracer
+        last_ssr_name = None
         while self.pending_irqs:
             irq = self.pending_irqs.popleft()
             handler_ns = irq.handler_ns
@@ -255,13 +266,22 @@ class Core:
                 )
                 tracer.metrics.histogram("irq.handler_ns").record(handler_ns)
             if irq.is_ssr:
-                self.kernel.ssr_accounting.add(handler_ns)
+                last_ssr_name = irq.name
+                self.kernel.charge_ssr(
+                    handler_ns, CH_TOP_HALF, irq.name, self.id, victim=thread.name
+                )
+            elif ledger.enabled and irq.name.endswith("-ipi"):
+                ledger.charge(irq.name, CH_IPI, thread.name, self.id, handler_ns)
             if irq.footprint is not None:
                 self._run_kernel_window(irq.footprint[0], irq.footprint[1], thread)
             if irq.action is not None:
                 irq.action(self)
         if is_user:
-            yield from self._charge(acct.SWITCH, thread, self.config.scheduler.mode_switch_ns)
+            if ledger.enabled and last_ssr_name is not None:
+                ledger.charge(
+                    last_ssr_name, CH_MODE_SWITCH, thread.name, self.id, mode_switch_ns
+                )
+            yield from self._charge(acct.SWITCH, thread, mode_switch_ns)
 
     def _charge(self, mode: str, thread: Thread, ns: float) -> None:
         """Generator: burn ``ns`` of core time in ``mode`` (uninterruptibly)."""

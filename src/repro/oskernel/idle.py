@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Generator, TYPE_CHECKING
 
+from ..profiling.ledger import CH_CC6_WAKEUP
 from ..sim import Interrupt
 from . import accounting as acct
 from .cpu import AWAKE, SLEEPING, TRANSITIONING
@@ -93,6 +94,17 @@ class IdleThread(Thread):
             self.kernel.counters.bump(acct.CTR_CORE_WAKEUP)
             if tracer.enabled:
                 tracer.instant("cc6.exit", "cstate", core.id, self.env.now)
+            ledger = self.kernel.ledger
+            if ledger.enabled:
+                # If an SSR interrupt is what woke this core, the exit
+                # latency is interference it caused (paid in TRANSITION
+                # mode, hence a side channel, not a service channel).
+                ssr_irq = next((i for i in core.pending_irqs if i.is_ssr), None)
+                if ssr_irq is not None:
+                    ledger.charge(
+                        ssr_irq.name, CH_CC6_WAKEUP, self.name, core.id,
+                        cstate.exit_latency_ns,
+                    )
             core.sleep_state = TRANSITIONING
             core.begin_segment(acct.TRANSITION, self, 0.0)
             yield from self._uninterruptible_delay(cstate.exit_latency_ns)

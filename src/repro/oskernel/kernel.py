@@ -54,6 +54,7 @@ class Kernel:
         config: SystemConfig,
         rng: RngRegistry,
         tracer=None,
+        ledger=None,
     ):
         self.env = env
         self.config = config
@@ -61,6 +62,12 @@ class Kernel:
         #: Telemetry sink shared by every layer (no-op unless tracing is on).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         env.tracer = self.tracer
+        #: Interference attribution sink (no-op unless profiling is on).
+        if ledger is None:
+            from ..profiling import NULL_LEDGER
+
+            ledger = NULL_LEDGER
+        self.ledger = ledger
 
         self.accounting = TimeAccounting(config.cpu.num_cores)
         self.ssr_accounting = SsrAccounting()
@@ -113,6 +120,30 @@ class Kernel:
         """Close in-flight accounting segments at the end of a measured run."""
         for core in self.cores:
             core.finalize()
+
+    # ------------------------------------------------------------------
+    # SSR cost attribution
+    # ------------------------------------------------------------------
+    def charge_ssr(
+        self,
+        ns: float,
+        channel: str,
+        ssr: str,
+        core_id: int,
+        victim: Optional[str] = None,
+    ) -> None:
+        """The single funnel for SSR-servicing CPU time.
+
+        Every site that used to call ``ssr_accounting.add`` directly goes
+        through here instead, so the interference ledger's service-channel
+        totals reconcile with the accumulator *by construction* — the same
+        nanoseconds, added once each, to both.  With profiling off the
+        ledger branch costs one attribute load.
+        """
+        self.ssr_accounting.add(ns)
+        ledger = self.ledger
+        if ledger.enabled:
+            ledger.charge(ssr, channel, victim, core_id, ns)
 
     # ------------------------------------------------------------------
     # Housekeeping

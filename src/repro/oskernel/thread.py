@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
+from ..profiling.ledger import CH_POLLUTION
 from ..sim import Event, Interrupt
 from . import accounting as acct
 
@@ -158,6 +159,14 @@ class Thread:
         )
         new_stall = cpu.cycles_to_ns(stall_cycles)
         self.pollution_stall_ns += new_stall
+        if new_stall > 0:
+            ledger = self.kernel.ledger
+            if ledger.enabled:
+                core = self.core
+                core_id = core.id if core is not None else (self.last_core_id or 0)
+                # The handler that evicted our state is long gone, so the
+                # cause is attributed generically to kernel SSR handling.
+                ledger.charge("uarch", CH_POLLUTION, self.name, core_id, new_stall)
         stall = self._stall_carry_ns + new_stall
         self._stall_carry_ns = 0.0
         return stall

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Tuple, TYPE_CHECKING
 
+from ..profiling.ledger import CH_ENQUEUE, CH_WORKER
 from ..sim import Store
 from . import accounting as acct
 from .thread import KIND_KWORKER, PRIO_NORMAL, Thread
@@ -42,6 +43,9 @@ class WorkItem:
     #: (cache accesses, branches) pushed through the servicing core.
     footprint: Optional[Tuple[int, int]] = None
     enqueued_at: int = 0
+    #: Attribution label for SSR items (the request kind, e.g.
+    #: ``page_fault`` / ``signal``); falls back to ``name`` when unset.
+    ssr_kind: Optional[str] = None
 
 
 class KWorker(Thread):
@@ -82,7 +86,18 @@ class KWorker(Thread):
                     max(0.0, service_start - item.enqueued_at)
                 )
             if item.is_ssr:
-                kernel.ssr_accounting.add(item.service_ns)
+                core = self.core
+                kernel.charge_ssr(
+                    item.service_ns,
+                    CH_WORKER,
+                    item.ssr_kind or item.name,
+                    core.id if core is not None else self.pinned_core,
+                    victim=(
+                        core.last_thread.name
+                        if core is not None and core.last_thread is not None
+                        else None
+                    ),
+                )
             if item.footprint is not None and self.core is not None:
                 # The pollution victim is whoever this worker displaced.
                 self.core._run_kernel_window(
@@ -126,7 +141,12 @@ class WorkQueues:
         # directly would create time out of thin air and break the
         # every-nanosecond-accounted invariant).
         if item.is_ssr:
-            self.kernel.ssr_accounting.add(self.kernel.config.os_path.queue_work_ns)
+            self.kernel.charge_ssr(
+                self.kernel.config.os_path.queue_work_ns,
+                CH_ENQUEUE,
+                item.ssr_kind or item.name,
+                target,
+            )
         tracer = self.kernel.tracer
         if tracer.enabled:
             tracer.instant(

@@ -1,0 +1,124 @@
+"""``hiss-report``: render and inspect interference profiles.
+
+Subcommands::
+
+    hiss-report render profile.json -o report.html --collapsed flame.txt
+    hiss-report summary profile.json       # text attribution table
+    hiss-report validate profile.json      # schema + conservation check
+
+Profiles are produced by ``hiss-experiments ... --profile profile.json``
+or fetched from a running service with ``hiss-client profile <job-id>``.
+The ``--collapsed`` output is collapsed-stack format, directly consumable
+by flamegraph.pl or speedscope; the HTML report is fully self-contained
+(inline CSS/SVG, embedded raw JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+from .flamegraph import write_collapsed
+from .profiler import profile_runs, validate_profile
+from .report import text_summary, write_html
+
+
+def _load(path: str) -> Any:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"hiss-report: cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"hiss-report: {path} is not valid JSON: {error}")
+
+
+def _checked(path: str) -> Any:
+    document = _load(path)
+    problems = validate_profile(document)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        raise SystemExit(2)
+    return document
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    document = _checked(args.profile)
+    runs = profile_runs(document)
+    entries = sum(len(r.get("ledger", {}).get("entries", [])) for r in runs)
+    size = write_html(document, args.output, title=args.title)
+    print(f"wrote {args.output} ({size} bytes, {len(runs)} run(s), {entries} attribution cells)")
+    if args.collapsed:
+        lines = write_collapsed(document, args.collapsed)
+        print(f"wrote {args.collapsed} ({lines} collapsed stacks)")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    print(text_summary(_checked(args.profile)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    document = _load(args.profile)
+    problems = validate_profile(document)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    runs = profile_runs(document)
+    entries = sum(len(r.get("ledger", {}).get("entries", [])) for r in runs)
+    samples = sum(len(r.get("samples", {}).get("rows", [])) for r in runs)
+    print(
+        f"OK: {args.profile} ({len(runs)} run(s), {entries} attribution cells, "
+        f"{samples} samples, conservation holds)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hiss-report",
+        description="Render and inspect HISS interference-attribution profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="write the self-contained HTML report")
+    render.add_argument("profile", help="profile JSON (bundle or single run)")
+    render.add_argument("-o", "--output", default="report.html", help="HTML output path")
+    render.add_argument(
+        "--collapsed", metavar="FILE",
+        help="also write collapsed-stack flamegraph input to FILE",
+    )
+    render.add_argument(
+        "--title", default="HISS interference profile", help="report page title"
+    )
+    render.set_defaults(func=_cmd_render)
+
+    summary = sub.add_parser("summary", help="print a text attribution table")
+    summary.add_argument("profile", help="profile JSON (bundle or single run)")
+    summary.set_defaults(func=_cmd_summary)
+
+    validate = sub.add_parser(
+        "validate", help="schema + conservation check; exit 1 on problems"
+    )
+    validate.add_argument("profile", help="profile JSON (bundle or single run)")
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `summary | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

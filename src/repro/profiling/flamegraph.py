@@ -1,0 +1,52 @@
+"""Collapsed-stack export: attribution cells as flamegraph input.
+
+One line per stack, ``frame;frame;frame <weight>`` — the format consumed
+by Brendan Gregg's ``flamegraph.pl`` and by speedscope's "collapsed
+stacks" importer.  The stack is the attribution hierarchy read outward:
+
+    victim app ; victim thread ; channel:ssr        weight = stolen ns
+
+so the flame graph's x-axis is stolen nanoseconds, the base frames are
+the victims (who paid), and the leaves are the mechanisms (what stole).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiler import profile_runs
+
+__all__ = ["collapsed_stacks", "write_collapsed"]
+
+
+def collapsed_stacks(document: Dict) -> List[str]:
+    """Render a bundle or run document as collapsed-stack lines.
+
+    Weights are integer nanoseconds (flamegraph.pl requires integers);
+    identical stacks across runs are merged.  Lines are sorted for
+    stable, diffable output.
+    """
+    weights: Dict[str, float] = {}
+    for run in profile_runs(document):
+        for entry in run.get("ledger", {}).get("entries", []):
+            stack = (
+                f"{entry['app']};{entry['victim']};"
+                f"{entry['channel']}:{entry['ssr']}"
+            )
+            weights[stack] = weights.get(stack, 0) + entry["ns"]
+    lines = [
+        f"{stack} {int(round(ns))}"
+        for stack, ns in weights.items()
+        if int(round(ns)) > 0
+    ]
+    lines.sort()
+    return lines
+
+
+def write_collapsed(document: Dict, path: str) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_stacks(document)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

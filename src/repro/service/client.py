@@ -13,7 +13,12 @@ CLI::
     hiss-client status job-000001-abcdef0123
     hiss-client result job-000001-abcdef0123
     hiss-client trace job-000001-abcdef0123 [--chrome]
+    hiss-client profile job-000001-abcdef0123 [-o profile.json]
     hiss-client experiments | jobs | health | metrics [--text] | ops
+
+``submit --profile`` asks the daemon to attribute every run's SSR
+interference; fetch the bundle with ``profile`` and render it locally
+with ``hiss-report render profile.json -o report.html``.
 """
 
 from __future__ import annotations
@@ -123,17 +128,21 @@ class ServiceClient:
         quick: bool = False,
         horizon_ms: Optional[float] = None,
         trace_id: Optional[str] = None,
+        profile: bool = False,
     ) -> Dict[str, Any]:
         """Submit once; returns the submission body (``body["job"]["id"]``).
 
         ``trace_id`` (normally the one a previous 429 assigned) rides the
         ``X-Hiss-Trace-Id`` header, so the server threads every back-off
-        round into the eventual job's trace.  Raises
-        :class:`ServiceRejected` when admission refuses.
+        round into the eventual job's trace.  ``profile`` asks for
+        per-run interference attribution (fetch with :meth:`profile`).
+        Raises :class:`ServiceRejected` when admission refuses.
         """
         doc: Dict[str, Any] = {"experiments": list(experiments), "quick": quick}
         if horizon_ms is not None:
             doc["horizon_ms"] = horizon_ms
+        if profile:
+            doc["profile"] = True
         headers = {TRACE_HEADER: trace_id} if trace_id else None
         _status, _headers, parsed = self._request(
             "POST", "/v1/jobs", doc, headers=headers
@@ -147,6 +156,7 @@ class ServiceClient:
         horizon_ms: Optional[float] = None,
         give_up_after_s: float = 300.0,
         sleep=time.sleep,
+        profile: bool = False,
     ) -> Dict[str, Any]:
         """Submit, sleeping out each 429's ``Retry-After`` until accepted.
 
@@ -159,7 +169,7 @@ class ServiceClient:
             try:
                 return self.submit(
                     experiments, quick=quick, horizon_ms=horizon_ms,
-                    trace_id=trace_id,
+                    trace_id=trace_id, profile=profile,
                 )
             except ServiceRejected as rejection:
                 trace_id = rejection.trace_id or trace_id
@@ -177,6 +187,12 @@ class ServiceClient:
         """One job's lifecycle trace: span JSON, or the Chrome-trace form."""
         suffix = "?format=chrome" if chrome else ""
         return self._get(f"/v1/jobs/{job_id}/trace{suffix}")
+
+    def profile(self, job_id: str) -> Dict[str, Any]:
+        """One finished job's interference-attribution bundle
+        (``hiss.profile/1``; the job must have been submitted with
+        ``profile=True``).  Render with ``hiss-report``."""
+        return self._get(f"/v1/jobs/{job_id}/profile")
 
     def ops(self) -> Dict[str, Any]:
         """The ``/v1/ops`` snapshot (what ``hiss-top`` renders)."""
@@ -241,6 +257,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     submit.add_argument("--quick", action="store_true", help="reduced workload grid")
     submit.add_argument("--horizon-ms", type=float, default=None)
     submit.add_argument(
+        "--profile", action="store_true",
+        help="attribute every run's SSR interference server-side "
+        "(fetch with 'hiss-client profile', render with hiss-report)",
+    )
+    submit.add_argument(
         "--wait", action="store_true", help="poll until the job finishes, print its result"
     )
     submit.add_argument(
@@ -255,6 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("status", "print one job's status document"),
         ("result", "print one finished job's result JSON"),
         ("trace", "print one job's lifecycle trace (span JSON)"),
+        ("profile", "print one finished job's interference-attribution bundle"),
         ("wait", "poll one job until it finishes"),
         ("evict", "evict one terminal job before its TTL"),
     ]:
@@ -266,6 +288,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             sub.add_argument(
                 "--chrome", action="store_true",
                 help="stitched chrome://tracing export instead of span JSON",
+            )
+        if name == "profile":
+            sub.add_argument(
+                "-o", "--output", default=None, metavar="FILE",
+                help="write the bundle to FILE instead of stdout "
+                "(then: hiss-report render FILE -o report.html)",
             )
 
     commands.add_parser("jobs", help="list live jobs")
@@ -281,11 +309,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "submit":
             if args.no_backoff:
                 body = client.submit(
-                    args.experiments, quick=args.quick, horizon_ms=args.horizon_ms
+                    args.experiments, quick=args.quick,
+                    horizon_ms=args.horizon_ms, profile=args.profile,
                 )
             else:
                 body = client.submit_with_backoff(
-                    args.experiments, quick=args.quick, horizon_ms=args.horizon_ms
+                    args.experiments, quick=args.quick,
+                    horizon_ms=args.horizon_ms, profile=args.profile,
                 )
             if not args.wait:
                 _print_json(body)
@@ -304,6 +334,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_json(client.result(args.job_id))
         elif args.command == "trace":
             _print_json(client.trace(args.job_id, chrome=args.chrome))
+        elif args.command == "profile":
+            bundle = client.profile(args.job_id)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    json.dump(bundle, handle)
+                runs = len(bundle.get("runs", []))
+                print(
+                    f"wrote {args.output} ({runs} run profile(s); render "
+                    f"with 'hiss-report render {args.output} -o report.html')"
+                )
+            else:
+                _print_json(bundle)
         elif args.command == "ops":
             _print_json(client.ops())
         elif args.command == "wait":

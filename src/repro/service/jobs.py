@@ -49,7 +49,9 @@ CANCELLED = "cancelled"
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
 #: Spec fields a submission document may carry.
-_SPEC_FIELDS = frozenset({"experiment", "experiments", "quick", "horizon_ms"})
+_SPEC_FIELDS = frozenset(
+    {"experiment", "experiments", "quick", "horizon_ms", "profile"}
+)
 
 
 class BadSpec(ValueError):
@@ -63,6 +65,11 @@ class JobSpec:
     experiments: Tuple[str, ...]
     quick: bool = False
     horizon_ms: Optional[float] = None
+    #: Attribute every run (interference ledger + sim-time samples) and
+    #: serve the bundle at ``GET /v1/jobs/<id>/profile``.  Profiled runs
+    #: are simulated even when cached — a profile only exists for an
+    #: executed run — so this trades cache hits for attribution.
+    profile: bool = False
 
     @classmethod
     def from_document(cls, doc: Any, registry: Dict[str, Callable]) -> "JobSpec":
@@ -99,13 +106,17 @@ class JobSpec:
             horizon_ms = float(horizon_ms)
             if horizon_ms <= 0:
                 raise BadSpec(f"'horizon_ms' must be positive, got {horizon_ms}")
-        return cls(tuple(experiments), quick, horizon_ms)
+        profile = doc.get("profile", False)
+        if not isinstance(profile, bool):
+            raise BadSpec(f"'profile' must be a boolean, got {profile!r}")
+        return cls(tuple(experiments), quick, horizon_ms, profile)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "experiments": list(self.experiments),
             "quick": self.quick,
             "horizon_ms": self.horizon_ms,
+            "profile": self.profile,
         }
 
     def canonical_json(self) -> str:
@@ -148,6 +159,9 @@ class Job:
     #: wall-clock window, worker pid, span context, and (tracing on) the
     #: captured in-sim event stream.
     sim_runs: List[dict] = field(default_factory=list)
+    #: With ``spec.profile``, one ``hiss.profile.run/1`` document per
+    #: simulated run (served as a bundle at ``/v1/jobs/<id>/profile``).
+    profiles: List[dict] = field(default_factory=list)
     #: Of the planned runs, how many were already cached when it started.
     runs_cached: int = 0
     #: How many runs its batch had to simulate on its behalf.
@@ -179,6 +193,10 @@ class Job:
         if self.state == DONE:
             doc["result_url"] = f"/v1/jobs/{self.id}/result"
         doc["trace_url"] = f"/v1/jobs/{self.id}/trace"
+        if self.spec.profile:
+            doc["profiled_runs"] = len(self.profiles)
+            if self.state == DONE:
+                doc["profile_url"] = f"/v1/jobs/{self.id}/profile"
         return doc
 
 

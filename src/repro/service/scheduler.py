@@ -226,9 +226,13 @@ class JobScheduler:
             return
         self.ops_log.log("batch.start", jobs=[j.id for j in jobs])
         # Union of not-yet-cached keys across the batch, submission order.
+        # A profiled job forces *all* of its keys into the fan-out (a
+        # profile only exists for an executed run), so its cache hits are
+        # deliberately re-simulated — with attribution on.
         pending: List[RunKey] = []
         seen = set()
         needed_by: dict = {}  # RunKey -> jobs in this batch that planned it
+        profile_keys: set = set()
         for job in jobs:
             job.state = RUNNING
             job.started_s = self._clock()
@@ -240,20 +244,23 @@ class JobScheduler:
             self.ops_log.log(
                 "job.started", trace=job.trace_id, job=job.id,
                 batch_jobs=len(jobs), planned_runs=len(job.run_keys),
+                profile=job.spec.profile,
             )
             cached = 0
             for key in job.run_keys:
-                if _experiment.cache_lookup(key) is not None:
+                if _experiment.cache_lookup(key) is not None and not job.spec.profile:
                     cached += 1
-                else:
-                    needed_by.setdefault(key, []).append(job)
-                    if key not in seen:
-                        seen.add(key)
-                        pending.append(key)
+                    continue
+                needed_by.setdefault(key, []).append(job)
+                if job.spec.profile:
+                    profile_keys.add(key)
+                if key not in seen:
+                    seen.add(key)
+                    pending.append(key)
             job.runs_cached = cached
             job.runs_executed = len(job.run_keys) - cached
 
-        report = self._execute_batch(pending, needed_by)
+        report = self._execute_batch(pending, needed_by, profile_keys)
         exec_done_s = self._clock()
         self.metrics.counter("service.runs.executed").inc(report.executed)
         self.metrics.counter("service.runs.cache_hits").inc(
@@ -301,13 +308,17 @@ class JobScheduler:
             self._finish(job, DONE)
         self.admission.note_service_time((time.monotonic() - started) / len(jobs))
 
-    def _execute_batch(self, pending: List[RunKey], needed_by: dict):
+    def _execute_batch(
+        self, pending: List[RunKey], needed_by: dict, profile_keys: set
+    ):
         """Fan the batch's runs out, threading span context through workers.
 
         Every run carries the trace ids of the jobs that planned it across
         the process boundary; the worker stamps its wall-clock window (and,
         with tracing on, its in-sim event stream) onto that context, and
-        the merge here attaches the result to each interested job.
+        the merge here attaches the result to each interested job.  Keys
+        in ``profile_keys`` come back with an attribution document, which
+        lands on the ``profiles`` of every interested job that asked.
         """
         tracer = Tracer(capacity=self.trace_capacity) if self.trace else None
 
@@ -320,6 +331,7 @@ class JobScheduler:
         def on_run(key: RunKey, events, info) -> None:
             if info is None:
                 return
+            profile_doc = info.pop("profile", None)
             cap = self.trace_events_per_run
             serialized = None
             if events is not None:
@@ -334,10 +346,13 @@ class JobScheduler:
                 run_doc = dict(info)
                 run_doc["events"] = serialized
                 job.sim_runs.append(run_doc)
+                if profile_doc is not None and job.spec.profile:
+                    job.profiles.append(profile_doc)
             self.ops_log.log(
                 "run.executed", run=info.get("run"),
                 traces=info.get("trace_ids"), worker_pid=info.get("worker_pid"),
                 wall_s=round(info["wall_end_s"] - info["wall_start_s"], 6),
+                profiled=profile_doc is not None,
             )
 
         report = execute_runs(
@@ -346,6 +361,7 @@ class JobScheduler:
             tracer=tracer,
             span_context_for=span_context_for,
             on_run=on_run,
+            profile_keys=profile_keys,
         )
         if tracer is not None and tracer.dropped:
             self.trace_dropped += tracer.dropped

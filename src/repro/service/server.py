@@ -16,6 +16,9 @@
 ``GET /v1/jobs/<id>/trace``           the job's lifecycle span document
                                       (``?format=chrome`` for a stitched
                                       chrome://tracing export)
+``GET /v1/jobs/<id>/profile``         the job's interference-attribution
+                                      bundle (submit with ``profile:
+                                      true``; render with ``hiss-report``)
 ``DELETE /v1/jobs/<id>``              evict a terminal job before its TTL
 ``GET /v1/experiments``               registered experiments (+ plannability)
 ``GET /v1/ops``                       one-call operational snapshot
@@ -316,6 +319,11 @@ class HissService:
             )
         gauges["service.trace.enabled"] = float(self.trace_enabled)
         gauges["service.trace.dropped_events"] = float(self.scheduler.trace_dropped)
+        # Ring-buffer overflow across every tracer the scheduler ran —
+        # the canonical name mirrors Tracer.dropped_events.
+        gauges["telemetry.trace.dropped_events"] = float(
+            self.scheduler.trace_dropped
+        )
         return gauges
 
     def metrics_document(self) -> Dict[str, Any]:
@@ -435,6 +443,39 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, build_stitched_trace(job))
             else:
                 self._send_json(200, build_trace_document(job))
+        elif tail == "profile":
+            if not job.spec.profile:
+                self._send_json(
+                    409,
+                    {"error": "not-profiled",
+                     "detail": "job was not submitted with profile: true",
+                     "job": job.as_dict()},
+                )
+            elif job.state != DONE:
+                self._send_json(
+                    409,
+                    {"error": "not-done", "detail": f"job is {job.state}",
+                     "job": job.as_dict()},
+                )
+            else:
+                from ..profiling import BUNDLE_SCHEMA
+
+                # Workers finish in pool order; sort for a stable document.
+                runs = sorted(
+                    job.profiles, key=lambda doc: str(doc.get("run", ""))
+                )
+                self._send_json(
+                    200,
+                    {
+                        "schema": BUNDLE_SCHEMA,
+                        "meta": {
+                            "job": job.id,
+                            "trace_id": job.trace_id,
+                            "spec": job.spec.as_dict(),
+                        },
+                        "runs": runs,
+                    },
+                )
         else:
             self._send_json(404, {"error": "not-found", "detail": rest})
 

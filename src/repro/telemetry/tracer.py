@@ -118,6 +118,15 @@ class Tracer:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    @property
+    def dropped_events(self) -> int:
+        """Ring-buffer overflow count: events evicted because the buffer
+        was at :attr:`capacity` when a new event arrived.  The queryable
+        companion of the raw :attr:`dropped` counter — surfaced as the
+        ``telemetry.trace.dropped_events`` gauge in the service's
+        ``/metrics``."""
+        return self.dropped
+
     def __len__(self) -> int:
         return len(self._events)
 
@@ -149,6 +158,10 @@ class NullTracer:
         self.capacity = 0
         self.dropped = 0
         self.metrics = MetricsRegistry()
+
+    @property
+    def dropped_events(self) -> int:
+        return 0
 
     def span(self, *args, **kwargs) -> None:
         pass

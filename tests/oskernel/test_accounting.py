@@ -24,6 +24,23 @@ class TestTimeAccounting:
         with pytest.raises(ValueError):
             TimeAccounting(1).add(0, "napping", 10)
 
+    def test_out_of_range_core_rejected(self):
+        accounting = TimeAccounting(2)
+        # A negative index would silently charge the *last* core through
+        # Python list indexing, corrupting time conservation undetectably.
+        with pytest.raises(ValueError):
+            accounting.add(-1, acct.USER, 10)
+        with pytest.raises(ValueError):
+            accounting.add(2, acct.USER, 10)
+        assert accounting.grand_total() == 0  # nothing landed anywhere
+
+    def test_out_of_range_core_rejected_on_reads(self):
+        accounting = TimeAccounting(2)
+        with pytest.raises(ValueError):
+            accounting.core_total(-1)
+        with pytest.raises(ValueError):
+            accounting.core_mode(2, acct.USER)
+
     def test_grand_total(self):
         accounting = TimeAccounting(2)
         accounting.add(0, acct.USER, 10)

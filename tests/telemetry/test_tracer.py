@@ -40,6 +40,17 @@ class TestTracer:
         assert tracer.dropped == 2
         assert [e.name for e in tracer.events()] == ["e2", "e3", "e4"]
 
+    def test_dropped_events_property_mirrors_overflow(self):
+        tracer = Tracer(capacity=2)
+        assert tracer.dropped_events == 0
+        for index in range(5):
+            tracer.instant(f"e{index}", "t", 0, index)
+        assert tracer.dropped_events == tracer.dropped == 3
+        tracer.clear()
+        assert tracer.dropped_events == 0
+        # The null tracer never drops anything (it never stores anything).
+        assert NULL_TRACER.dropped_events == 0
+
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
