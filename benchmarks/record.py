@@ -104,21 +104,93 @@ def record_profile_overhead(figure: str, kwargs_for) -> dict:
     return doc
 
 
+def record_pool_probe(client, figure: str, args) -> dict:
+    """Cold-vs-warm batch latency through the serving tier's worker pool.
+
+    Submits the same figure twice with every cache level emptied between
+    rounds, so both batches simulate identical work — the only difference
+    is that the first pays worker start-up (the pool spawns) while the
+    second lands on already-warm workers.  The spawned-worker delta of
+    the warm round must be zero; the e2e gap is the cost the warm pool
+    retired.
+    """
+    from repro.core import shared_pool_stats
+    from repro.core.experiment import get_disk_cache, set_disk_cache
+
+    # A persistent cache would serve the warm round without simulating;
+    # detach it so both rounds execute the same runs.
+    saved_disk = get_disk_cache()
+    set_disk_cache(None)
+    rounds = {}
+    try:
+        for phase in ("cold", "warm"):
+            clear_cache()
+            body = client.submit_with_backoff(
+                [figure], quick=True, horizon_ms=args.horizon_ms
+            )
+            job_id = body["job"]["id"]
+            status = client.wait(job_id, timeout_s=1800)
+            trace = client.trace(job_id)
+            root = next(
+                span for span in trace["spans"] if span["span_id"] == "root"
+            )
+            stats = shared_pool_stats()
+            rounds[phase] = {
+                "e2e_s": round(root["duration_s"], 4),
+                "runs_executed": status["runs_executed"],
+                "spawned_workers": stats["spawned_workers"],
+                "warm_hits": stats["warm_hits"],
+            }
+            # Evict so the next round is not served by job-level dedupe.
+            client.evict(job_id)
+    finally:
+        set_disk_cache(saved_disk)
+        clear_cache()
+    cold, warm = rounds["cold"], rounds["warm"]
+    doc = {
+        "figure": figure,
+        "cold": cold,
+        "warm": warm,
+        "workers_spawned_by_warm_batch": (
+            warm["spawned_workers"] - cold["spawned_workers"]
+        ),
+    }
+    if warm["e2e_s"] > 0:
+        doc["cold_over_warm"] = round(cold["e2e_s"] / warm["e2e_s"], 3)
+    print(
+        f"pool probe ({figure}): cold {cold['e2e_s']:.2f}s, "
+        f"warm {warm['e2e_s']:.2f}s, warm batch spawned "
+        f"{doc['workers_spawned_by_warm_batch']:g} worker(s)"
+    )
+    return doc
+
+
 def record_service(figures, args) -> dict:
     """Serve ``figures`` through an in-process daemon; return its latencies.
 
     Each figure is one job over real HTTP (so the measured end-to-end
     includes receive/plan/queue/render, exactly what a client sees), run
     against a fresh cache so the sim-time numbers are cold like the CLI
-    figures above them.
+    figures above them.  The first figure is additionally submitted
+    cold-then-warm to measure what the resident pool saves
+    (see :func:`record_pool_probe`).
     """
+    from repro.core import configure_pool, shutdown_shared_pool
     from repro.service import HissService, ServiceClient
     from repro.service.obs import LATENCY_HISTOGRAMS
 
     clear_cache()
     doc: dict = {"jobs": {}}
-    with HissService(port=0, jobs=args.jobs, qos_threshold=10.0) as svc:
+    # At least two workers so batches actually use the pool, and `spawn`
+    # workers so the start-up cost the warm pool retires is the real
+    # thing (interpreter boot + full import), not a fork's copy-on-write
+    # discount.
+    service_jobs = args.jobs if args.jobs and args.jobs != 1 else 2
+    shutdown_shared_pool()
+    configure_pool(start_method="spawn")
+    with HissService(port=0, jobs=service_jobs, qos_threshold=10.0) as svc:
         client = ServiceClient(svc.url, timeout_s=60)
+        doc["pool"] = record_pool_probe(client, figures[0], args)
         for experiment_id in figures:
             body = client.submit_with_backoff(
                 [experiment_id], quick=True, horizon_ms=args.horizon_ms
@@ -151,6 +223,7 @@ def record_service(figures, args) -> dict:
                 "p99_s": round(summary["percentiles"]["p99"], 4),
                 "max_s": round(summary["max"], 4),
             }
+    shutdown_shared_pool()
     clear_cache()
     return doc
 
@@ -221,7 +294,11 @@ def main(argv=None) -> int:
             "workers": report.workers,
             "plan_s": round(report.plan_s, 3),
             "execute_s": round(report.execute_s, 3),
+            "predicted_core_s": round(report.predicted_core_s, 3),
+            "failed": len(report.failed),
         }
+        if report.pool:
+            snapshot["prewarm"]["pool"] = report.pool
         print(report.summary())
     for experiment_id in figures:
         result = run_experiment(experiment_id, **kwargs_for(experiment_id))

@@ -26,12 +26,24 @@ from .planner import (
     prewarm_experiments,
     resolve_jobs,
 )
+from .pool import (
+    PoolStats,
+    WorkerPool,
+    configure_pool,
+    order_longest_first,
+    shared_pool,
+    shared_pool_stats,
+    shutdown_shared_pool,
+)
 from .runcache import (
+    CostModel,
     DiskCache,
     RunKey,
     code_fingerprint,
+    cost_model,
     reset_code_fingerprint,
     run_key_digest,
+    set_cost_ledger,
 )
 from .pareto import ParetoPoint, dominates, frontier_labels, pareto_frontier
 from .projection import ProjectionPoint, project_accelerator_scaling
@@ -45,29 +57,39 @@ from .tracing import (
 from .system import DEFAULT_HORIZON_NS, System
 
 __all__ = [
+    "CostModel",
     "CpuAppMetrics",
     "DEFAULT_HORIZON_NS",
     "DiskCache",
     "GpuMetrics",
     "ParetoPoint",
+    "PoolStats",
     "PrewarmReport",
     "ProjectionPoint",
     "RunKey",
     "System",
     "SystemMetrics",
+    "WorkerPool",
     "clear_cache",
     "code_fingerprint",
     "configure_disk_cache",
+    "configure_pool",
+    "cost_model",
     "execute_runs",
     "get_disk_cache",
     "make_run_key",
+    "order_longest_first",
     "plan_runs",
     "planning",
     "prewarm_experiments",
     "reset_code_fingerprint",
     "resolve_jobs",
     "run_key_digest",
+    "set_cost_ledger",
     "set_disk_cache",
+    "shared_pool",
+    "shared_pool_stats",
+    "shutdown_shared_pool",
     "simulate_run",
     "cpu_mitigation_ratio",
     "cpu_relative_performance",

@@ -9,11 +9,17 @@ serial sweep into a three-phase pipeline:
    run keys it would need and returns placeholders, so planning costs
    milliseconds.  Keys are deduplicated across experiments — most figures
    share baselines.
-2. **Execute** — the unique, not-yet-cached keys are simulated on a
-   ``ProcessPoolExecutor``.  Workers run the exact same
-   :func:`~repro.core.experiment.simulate_run` as the serial path, so
-   results are bit-for-bit identical; the parent stores each result in
-   both cache levels as it arrives.
+2. **Execute** — the unique, not-yet-cached keys are dispatched
+   longest-predicted-first (see
+   :class:`~repro.core.runcache.CostModel`) onto the persistent warm
+   worker pool (:mod:`repro.core.pool`) — or a cold per-batch
+   ``ProcessPoolExecutor`` when the pool is disabled.  Workers run the
+   exact same :func:`~repro.core.experiment.simulate_run` as the serial
+   path, so results are bit-for-bit identical regardless of backend or
+   dispatch order; the parent stores each result in both cache levels
+   as it arrives.  A key that fails — worker exception or worker death
+   — is recorded in ``PrewarmReport.failed`` and the rest of the batch
+   completes.
 3. **Replay** — the caller runs the experiments normally; every
    ``run_workloads`` call is now a cache hit and the harnesses only do
    table assembly.
@@ -28,12 +34,20 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import experiment as _experiment
-from .runcache import RunKey
+from .pool import (
+    order_longest_first,
+    run_label,
+    run_task,
+    shared_pool,
+    warm_pool_enabled,
+)
+from .runcache import RunKey, cost_model
 
 #: Ring capacity of each worker's private tracer (events per run).
 WORKER_TRACE_CAPACITY = 200_000
@@ -44,19 +58,6 @@ def resolve_jobs(jobs: int) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs if jobs else (os.cpu_count() or 1)
-
-
-def run_label(key: RunKey) -> str:
-    """A compact, human-readable name for one run (trace track prefix)."""
-    cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
-    parts = [cpu_name or "idle", "x", gpu_name or "nogpu"]
-    label = "".join(parts)
-    if not ssr_enabled:
-        label += "!nossr"
-    config_label = config.label
-    if config_label != "Default":
-        label += f"[{config_label}]"
-    return f"{label}@{horizon_ns / 1e6:g}ms"
 
 
 @dataclass
@@ -72,6 +73,15 @@ class PrewarmReport:
     workers: int = 1
     plan_s: float = 0.0
     execute_s: float = 0.0
+    #: Keys that did not produce a result, with the worker's traceback
+    #: (or death notice).  The rest of the batch still completed.
+    failed: List[Tuple[RunKey, str]] = field(default_factory=list)
+    #: Cost-model estimate of the batch, summed over pending keys —
+    #: reported to the service governor *before* execution.
+    predicted_core_s: float = 0.0
+    #: Warm-pool stats snapshot taken after the batch (empty when the
+    #: batch ran serially or on a cold pool).
+    pool: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         total = self.plan_s + self.execute_s
@@ -82,6 +92,16 @@ class PrewarmReport:
             f"{self.executed} executed on {self.workers} worker(s) "
             f"in {total:.1f}s"
         )
+        if self.pool:
+            line += (
+                f" [warm pool: {self.pool['live_workers']:g} live, "
+                f"{self.pool['spawned_workers']:g} spawned, "
+                f"{self.pool['recycled_workers']:g} recycled, "
+                f"warm-hit {100.0 * self.pool['warm_hit_ratio']:.0f}%]"
+            )
+        if self.failed:
+            labels = ", ".join(run_label(key) for key, _tb in self.failed)
+            line += f" — {len(self.failed)} FAILED: {labels}"
         if self.unplannable:
             line += f" (run serially: {', '.join(self.unplannable)})"
         return line
@@ -126,51 +146,22 @@ def plan_runs(
     return ordered, skipped
 
 
-def _worker_run(
+def _timed_task(
     key: RunKey,
     trace_capacity: int,
     span_context: Optional[dict] = None,
     profile: bool = False,
+    events_limit: Optional[int] = None,
 ):
-    """Pool worker: simulate one run; optionally capture trace/profile.
+    """Cold-pool worker entry: :func:`~repro.core.pool.run_task`, timed.
 
-    ``span_context`` is the serving tier's cross-process trace baggage
-    (trace ids, run label).  The worker never reads it — it only stamps
-    the run's wall-clock window onto it and ships it back, so the parent
-    can merge a worker-side span into the right end-to-end trace.  It is
-    deliberately kept out of :func:`simulate_run`: tracing identity must
-    never influence simulated results.
-
-    With ``profile=True`` the run is attributed into a private
-    :class:`~repro.profiling.Profiler` and the resulting run document is
-    shipped back under ``info["profile"]`` (profiling, like tracing,
-    never changes the metrics).
+    The warm pool times tasks in its own worker loop; the cold
+    ``ProcessPoolExecutor`` path wraps the same task so both backends
+    feed the cost model identically.
     """
-    tracer = None
-    if trace_capacity:
-        from ..telemetry import Tracer
-
-        tracer = Tracer(capacity=trace_capacity)
-    profiler = None
-    if profile:
-        from ..profiling import Profiler
-
-        profiler = Profiler()
-    wall_start_s = time.time()
-    metrics = _experiment.simulate_run(key, tracer=tracer, profiler=profiler)
-    wall_end_s = time.time()
-    events = list(tracer.events()) if tracer is not None else None
-    info = None
-    if span_context is not None or profiler is not None:
-        info = dict(span_context or {})
-        info.setdefault("run", run_label(key))
-        info["wall_start_s"] = wall_start_s
-        info["wall_end_s"] = wall_end_s
-        info["worker_pid"] = os.getpid()
-        info["events_dropped"] = tracer.dropped if tracer is not None else 0
-        if profiler is not None:
-            info["profile"] = profiler.take_document()
-    return metrics, events, info
+    begin = time.perf_counter()
+    payload = run_task(key, trace_capacity, span_context, profile, events_limit)
+    return payload, time.perf_counter() - begin
 
 
 def _merge_worker_trace(tracer, label: str, events) -> None:
@@ -203,17 +194,36 @@ def execute_runs(
     on_run: Optional[Callable[[RunKey, Optional[list], Optional[dict]], None]] = None,
     profile_keys: Optional[set] = None,
     collector=None,
+    warm: Optional[bool] = None,
+    pool=None,
+    events_per_run: Optional[int] = None,
 ) -> PrewarmReport:
     """Simulate ``keys`` on a worker pool, filling both cache levels.
 
-    Keys already satisfied by a cache level are not dispatched.  With
-    ``jobs == 1`` the runs execute in-process (no pool), which keeps the
-    serial path free of multiprocessing machinery.
+    Keys already satisfied by a cache level are not dispatched; the rest
+    are ordered longest-predicted-first by the cost model (the batch
+    makespan is then bounded by the longest run, not an unlucky tail)
+    and the batch estimate lands in ``report.predicted_core_s`` before
+    anything executes.  With ``jobs == 1`` the runs execute in-process
+    (no pool), which keeps the serial path free of multiprocessing
+    machinery; otherwise they go to the process-wide *warm* pool
+    (:func:`~repro.core.pool.shared_pool` — spawned once, reused across
+    batches) unless ``warm=False``, ``HISS_POOL=cold``, or an explicit
+    ``pool`` chooses the backend.  Each backend runs the identical
+    :func:`~repro.core.pool.run_task`, so results are byte-for-byte the
+    same whichever dispatched them.
+
+    A key that raises (or whose worker dies) is appended to
+    ``report.failed`` with the traceback and the remaining runs still
+    complete — one poisoned run no longer aborts the batch.
 
     ``span_context_for`` (serving tier) maps a key to trace baggage the
     worker carries across the process boundary and returns stamped with
     its wall-clock window; ``on_run`` receives each executed run's
     ``(key, captured events, stamped context)`` as it completes.
+    ``events_per_run`` caps the event stream a worker ships back (the
+    overflow is counted, not pickled — the serving tier truncates to its
+    per-run budget at the source).
 
     Keys in ``profile_keys`` are simulated *even when cached* — a profile
     only exists for an executed run — with attribution captured in the
@@ -236,13 +246,20 @@ def execute_runs(
                 continue
         pending.append(key)
 
+    model = cost_model()
+    pending = order_longest_first(pending)
+    report.predicted_core_s = sum(model.predict(key) for key in pending)
+
     capture = trace_capacity if tracer is not None and tracer.enabled else 0
+    if warm is None:
+        warm = warm_pool_enabled()
 
     def context_for(key: RunKey) -> Optional[dict]:
         return span_context_for(key) if span_context_for is not None else None
 
-    def completed(key: RunKey, metrics, events, info) -> None:
-        _experiment.cache_store(key, metrics)
+    def completed(key: RunKey, metrics, events, info, elapsed_s: float) -> None:
+        model.observe(key, elapsed_s)
+        _experiment.cache_store(key, metrics, elapsed_s=elapsed_s)
         if events:
             _merge_worker_trace(tracer, run_label(key), events)
         if collector is not None and info and info.get("profile"):
@@ -251,26 +268,54 @@ def execute_runs(
             on_run(key, events, info)
         report.executed += 1
 
-    if report.workers == 1 or len(pending) <= 1:
+    def failed(key: RunKey, error: str) -> None:
+        report.failed.append((key, error))
+
+    if pool is None and (report.workers == 1 or len(pending) <= 1):
         for key in pending:
-            metrics, events, info = _worker_run(
-                key, capture, context_for(key), profile=key in profile_keys
-            )
-            completed(key, metrics, events, info)
+            begin = time.perf_counter()
+            try:
+                metrics, events, info = run_task(
+                    key, capture, context_for(key),
+                    key in profile_keys, events_per_run,
+                )
+            except Exception:
+                failed(key, traceback.format_exc(limit=20))
+                continue
+            completed(key, metrics, events, info, time.perf_counter() - begin)
+    elif pool is not None or warm:
+        if pool is None:
+            pool = shared_pool(report.workers)
+        tasks = [
+            (key, capture, context_for(key), key in profile_keys, events_per_run)
+            for key in pending
+        ]
+        for result in pool.run_batch(tasks):
+            key = pending[result.index]
+            if result.ok:
+                metrics, events, info = result.payload
+                completed(key, metrics, events, info, result.elapsed_s)
+            else:
+                failed(key, result.error or "unknown worker failure")
+        report.pool = pool.stats_document()
     else:
         workers = min(report.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers) as cold_pool:
             futures = {
-                pool.submit(
-                    _worker_run, key, capture, context_for(key),
-                    key in profile_keys,
+                cold_pool.submit(
+                    _timed_task, key, capture, context_for(key),
+                    key in profile_keys, events_per_run,
                 ): key
                 for key in pending
             }
             for future in as_completed(futures):
                 key = futures[future]
-                metrics, events, info = future.result()
-                completed(key, metrics, events, info)
+                try:
+                    (metrics, events, info), elapsed_s = future.result()
+                except Exception:
+                    failed(key, traceback.format_exc(limit=20))
+                    continue
+                completed(key, metrics, events, info, elapsed_s)
     report.execute_s = time.time() - start
     return report
 
@@ -283,11 +328,14 @@ def prewarm_experiments(
     registry: Optional[Dict[str, Callable]] = None,
     unplannable: Iterable[str] = (),
     collector=None,
+    warm: Optional[bool] = None,
 ) -> PrewarmReport:
     """Plan + execute: after this, running the experiments is cache-only.
 
     With a ``collector``, every planned run is executed with attribution
     (cached or not) and its profile document lands in the collector.
+    ``warm=False`` (the CLI's ``--cold-pool``) forces the per-batch
+    executor instead of the resident pool.
     """
     report = PrewarmReport(experiments=list(experiment_ids))
     start = time.time()
@@ -300,5 +348,5 @@ def prewarm_experiments(
     profile_keys = set(keys) if collector is not None else None
     return execute_runs(
         keys, jobs, tracer=tracer, report=report,
-        profile_keys=profile_keys, collector=collector,
+        profile_keys=profile_keys, collector=collector, warm=warm,
     )

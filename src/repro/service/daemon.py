@@ -77,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(lifecycle spans and /v1/jobs/<id>/trace still work)",
     )
     parser.add_argument(
+        "--cold-pool", action="store_true",
+        help="spawn a fresh worker pool per batch instead of keeping "
+        "warm resident workers (A/B lever; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--pool-recycle", type=int, default=None, metavar="N",
+        help="retire each warm worker after N tasks (default 256; "
+        "0 = never recycle)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
     return parser
@@ -85,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     ops_log = OpsLog.open_path(args.log_json)
+    if args.pool_recycle is not None:
+        from ..core.pool import configure_pool
+
+        configure_pool(recycle_after=args.pool_recycle)
     service = HissService(
         host=args.host,
         port=args.port,
@@ -99,6 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         verbose=args.verbose,
         trace=not args.no_trace,
         ops_log=ops_log,
+        warm_pool=False if args.cold_pool else None,
     )
     shutdown = threading.Event()
 

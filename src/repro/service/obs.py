@@ -302,6 +302,7 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
     """
     from ..core import experiment as _experiment
     from ..core.planner import resolve_jobs
+    from ..core.pool import shared_pool_stats
 
     now_s = time.time()
     governor = service.governor.snapshot()
@@ -349,6 +350,7 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
             "resolved_workers": resolve_jobs(service.scheduler.jobs),
             "utilization": governor.get("fraction", 0.0),
         },
+        "pool": shared_pool_stats(),
         "cache": {
             "memory_runs": len(_experiment._CACHE),
             "run_hit_rate": (cache_hits_n / runs_seen) if runs_seen else 0.0,

@@ -8,17 +8,21 @@ invocation:
    via :func:`repro.core.experiment.planning`), so the batch's union of
    keys is known without simulating;
 2. keys no cache level satisfies are fanned out through
-   :func:`repro.core.planner.execute_runs` — the same
-   ``ProcessPoolExecutor`` path, the same :func:`simulate_run`, so a
-   served result is bit-for-bit the CLI's result;
+   :func:`repro.core.planner.execute_runs` — the same persistent warm
+   worker pool (:mod:`repro.core.pool`), the same :func:`simulate_run`,
+   so a served result is bit-for-bit the CLI's result, and the second
+   batch of a daemon's life spawns zero new processes;
 3. each job then *replays* its experiments (all ``run_workloads`` calls
    are now cache hits) to assemble its tables.
 
 Batching means ten queued jobs that share baselines — most do — cost one
 simulation pass, and a fully warm job completes without simulating at
-all.  Simulated core-seconds are reported to the
-:class:`~repro.service.admission.ServiceGovernor` so admission feels the
-load the scheduler actually generated.
+all.  The cost model's predicted core-seconds are charged to the
+:class:`~repro.service.admission.ServiceGovernor` *before* a batch
+executes (admission feels the load while it is in flight) and trued up
+with the actual residual afterwards.  A run that fails — worker
+exception or death — fails only the jobs that planned it; batch
+siblings complete.
 
 Planning mode and replay both use the process-global memo/planning state
 in :mod:`repro.core.experiment`, which is not reentrant; ``_PLAN_LOCK``
@@ -35,7 +39,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core import experiment as _experiment
 from ..core.planner import execute_runs, plan_runs, resolve_jobs, run_label
-from ..core.runcache import RunKey, run_key_digest
+from ..core.runcache import RunKey, cost_model, run_key_digest
 from ..telemetry import MetricsRegistry, Tracer
 from .admission import AdmissionController, ServiceGovernor
 from .jobs import CANCELLED, DONE, FAILED, RUNNING, Job, JobStore
@@ -99,6 +103,7 @@ class JobScheduler:
         trace_capacity: int = 100_000,
         trace_events_per_run: int = 4000,
         ops_log: Optional[OpsLog] = None,
+        warm: Optional[bool] = None,
     ):
         self.store = store
         self.admission = admission
@@ -107,6 +112,9 @@ class JobScheduler:
         self.governor = governor
         self.poll_s = poll_s
         self._clock = clock
+        #: ``False`` forces the cold per-batch executor; ``None`` follows
+        #: the ``HISS_POOL`` environment default (warm).
+        self.warm = warm
         #: Capture each run's in-sim event stream in the pool workers and
         #: attach it to the jobs that planned the run.  Span/timestamp
         #: bookkeeping happens regardless; this only gates event capture.
@@ -260,19 +268,36 @@ class JobScheduler:
             job.runs_cached = cached
             job.runs_executed = len(job.run_keys) - cached
 
+        # Charge the cost model's batch estimate to the governor *now* —
+        # admission starts back-pressuring while the batch is in flight,
+        # not one batch later.  After execution only the residual
+        # (actual - predicted, floored at 0) is added, so nothing is
+        # counted twice.
+        predicted_core_s = 0.0
+        if self.governor is not None and pending:
+            model = cost_model()
+            predicted_core_s = sum(model.predict(key) for key in pending)
+            self.governor.note_predicted(predicted_core_s)
+
         report = self._execute_batch(pending, needed_by, profile_keys)
         exec_done_s = self._clock()
         self.metrics.counter("service.runs.executed").inc(report.executed)
         self.metrics.counter("service.runs.cache_hits").inc(
             sum(job.runs_cached for job in jobs)
         )
+        if report.failed:
+            self.metrics.counter("service.runs.failed").inc(len(report.failed))
         if self.governor is not None and report.executed:
             used = min(resolve_jobs(self.jobs), report.executed)
-            self.governor.note_busy(report.execute_s * used)
+            self.governor.note_busy(
+                max(0.0, report.execute_s * used - predicted_core_s)
+            )
         self.ops_log.log(
             "batch.executed", runs=report.executed, execute_s=report.execute_s,
-            workers=report.workers,
+            workers=report.workers, failed=len(report.failed),
+            predicted_core_s=round(predicted_core_s, 3),
         )
+        failed_keys = {key: error for key, error in report.failed}
 
         from ..experiments.common import run_experiment
         from ..experiments.run_all import experiment_kwargs
@@ -288,6 +313,19 @@ class JobScheduler:
                 self.metrics.histogram(
                     "service.job.sim_s", low=1e-3, high=1e4, growth=1.5
                 ).record(max(0.0, sim_s))
+            # A job whose planned runs include a failed key can never
+            # assemble its tables — fail it with the worker's traceback.
+            # Sibling jobs in the batch are untouched: their runs all
+            # completed (crash isolation), so they proceed normally.
+            broken = [key for key in job.run_keys if key in failed_keys]
+            if broken:
+                first = broken[0]
+                self._finish(job, FAILED, error=(
+                    f"{len(broken)} of {len(job.run_keys)} planned runs "
+                    f"failed; first ({run_label(first)}):\n"
+                    f"{failed_keys[first]}"
+                ))
+                continue
             try:
                 with _PLAN_LOCK:
                     results = [
@@ -362,6 +400,8 @@ class JobScheduler:
             span_context_for=span_context_for,
             on_run=on_run,
             profile_keys=profile_keys,
+            warm=self.warm,
+            events_per_run=self.trace_events_per_run if self.trace else None,
         )
         if tracer is not None and tracer.dropped:
             self.trace_dropped += tracer.dropped

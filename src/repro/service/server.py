@@ -92,6 +92,7 @@ class HissService:
         verbose: bool = False,
         trace: bool = True,
         ops_log: Optional[OpsLog] = None,
+        warm_pool: Optional[bool] = None,
     ):
         if cache_dir:
             _experiment.configure_disk_cache(cache_dir)
@@ -122,6 +123,7 @@ class HissService:
             governor=self.governor,
             trace=trace,
             ops_log=self.ops_log,
+            warm=warm_pool,
         )
         #: Rejected-round ledger: trace id -> back-off spans accumulated
         #: before admission succeeds (LRU-bounded, lock-protected).
@@ -317,6 +319,14 @@ class HissService:
             gauges["service.disk_cache.hit_rate"] = (
                 hits / lookups if lookups else 0.0
             )
+        from ..core.pool import shared_pool_stats
+        from ..core.runcache import cost_model
+
+        for name, value in shared_pool_stats().items():
+            gauges[f"service.pool.{name}"] = value
+        gauges["service.cost_model.observations"] = float(
+            cost_model().observations
+        )
         gauges["service.trace.enabled"] = float(self.trace_enabled)
         gauges["service.trace.dropped_events"] = float(self.scheduler.trace_dropped)
         # Ring-buffer overflow across every tracer the scheduler ran —

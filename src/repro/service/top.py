@@ -114,6 +114,17 @@ def render_ops(doc: Dict[str, Any], width: int = 80) -> str:
         f"  executed {cache.get('runs_executed', 0)}"
         f"  {disk_text}"
     )
+    pool = doc.get("pool", {})
+    if pool.get("spawned_workers"):
+        lines.append(
+            f"pool      {int(pool.get('live_workers', 0))} warm worker(s)"
+            f"  spawned {int(pool.get('spawned_workers', 0))}"
+            f"  recycled {int(pool.get('recycled_workers', 0))}"
+            f"  crashed {int(pool.get('crashed_workers', 0))}"
+            f"  warm-hit {_fmt_rate(pool.get('warm_hit_ratio'))}"
+        )
+    else:
+        lines.append("pool      cold (no resident workers)")
     lines.append(
         f"trace     {'on' if trace.get('enabled') else 'off'}"
         f"  dropped events {trace.get('dropped_events', 0)}"

@@ -142,13 +142,25 @@ class Environment:
 
         ``limit`` optionally bounds simulated time; exceeding it raises
         :class:`TimeoutError`.
+
+        The dispatch loop is inlined the same way :meth:`run` inlines
+        :meth:`step` — heap, pop, and bound checks in locals — and
+        processes events in the identical order.
         """
+        queue = self._queue
+        pop = heapq.heappop
         while not event.processed:
-            if not self._queue:
+            if not queue:
                 raise RuntimeError("schedule ran dry before the event fired")
-            if limit is not None and self._queue[0][0] > limit:
+            if limit is not None and queue[0][0] > limit:
                 raise TimeoutError(f"event did not fire by t={limit}")
-            self.step()
+            when, _priority, _eid, ready = pop(queue)
+            self._now = when
+            callbacks, ready.callbacks = ready.callbacks, None
+            for callback in callbacks:
+                callback(ready)
+            if ready._ok is False and not ready._defused:
+                raise ready._value
         if not event.ok:
             event.defuse()
             raise event.value
