@@ -165,6 +165,83 @@ def record_pool_probe(client, figure: str, args) -> dict:
     return doc
 
 
+def record_sweep(args) -> dict:
+    """Cold-vs-warm autotuner sweep pair: evaluations/sec and cache traffic.
+
+    Runs the same small ``repro.search`` sweep twice against one private
+    disk cache: the cold pass simulates everything, the warm pass (fresh
+    in-memory cache, same seed and budget) must be served entirely from
+    disk.  The snapshot records evaluations/sec for both passes and the
+    warm pass's cache-served fraction — the number that should stay at
+    1.0 as the subsystem evolves.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.experiment import get_disk_cache, set_disk_cache
+    from repro.core.runcache import DiskCache
+    from repro.search import SweepDriver, SweepSettings, default_space
+
+    saved_disk = get_disk_cache()
+    workdir = tempfile.mkdtemp(prefix="hiss-sweep-bench-")
+    settings = SweepSettings(
+        seed=17,
+        budget=8,
+        round_size=4,
+        strategy="evolve",
+        horizon_ns=int(args.horizon_ms * 1_000_000),
+        jobs=args.jobs,
+    )
+    phases = {}
+    try:
+        set_disk_cache(DiskCache(os.path.join(workdir, "cache")))
+        for phase in ("cold", "warm"):
+            clear_cache()
+            driver = SweepDriver(
+                default_space(), settings,
+                state_path=os.path.join(workdir, f"{phase}.jsonl"),
+            )
+            start = time.time()
+            result = driver.run()
+            elapsed = time.time() - start
+            served_total = result.simulations + result.cache_served
+            phases[phase] = {
+                "elapsed_s": round(elapsed, 3),
+                "evaluations": result.evaluations,
+                "rounds": result.rounds,
+                "simulations": result.simulations,
+                "cache_served": result.cache_served,
+                "frontier_size": result.frontier_size,
+                "evals_per_s": (
+                    round(result.evaluations / elapsed, 2) if elapsed > 0 else 0.0
+                ),
+                "cache_served_fraction": (
+                    round(result.cache_served / served_total, 3)
+                    if served_total else 0.0
+                ),
+            }
+            print(
+                f"sweep {phase}: {result.evaluations} evals in {elapsed:.2f}s "
+                f"({phases[phase]['evals_per_s']:.1f}/s), "
+                f"simulated {result.simulations}, "
+                f"cache-served {result.cache_served}"
+            )
+    finally:
+        set_disk_cache(saved_disk)
+        clear_cache()
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "seed": settings.seed,
+        "budget": settings.budget,
+        "round_size": settings.round_size,
+        "strategy": settings.strategy,
+        "horizon_ms": args.horizon_ms,
+        "jobs": settings.jobs,
+        "cold": phases["cold"],
+        "warm": phases["warm"],
+    }
+
+
 def record_service(figures, args) -> dict:
     """Serve ``figures`` through an in-process daemon; return its latencies.
 
@@ -256,13 +333,23 @@ def main(argv=None) -> int:
         "record its stage latencies (queue_wait/sim/e2e)",
     )
     parser.add_argument(
+        "--sweep", action="store_true",
+        help="also run a cold-vs-warm repro.search sweep pair and record "
+        "evaluations/sec plus the warm pass's cache-served fraction "
+        "(given alone, skips the figure timings)",
+    )
+    parser.add_argument(
         "--profile-figure", default="fig4", metavar="ID",
         help="figure whose runs are timed profiler-off vs profiler-on "
         "(empty string skips the comparison)",
     )
     args = parser.parse_args(argv)
 
-    figures = args.figures or list(DEFAULT_ORDER)
+    if args.sweep and args.figures is None:
+        figures = []  # sweep-only snapshot: skip the figure timings
+        args.profile_figure = ""
+    else:
+        figures = args.figures or list(DEFAULT_ORDER)
     horizon_ns = int(args.horizon_ms * 1_000_000)
     kwargs_for = lambda eid: figure_kwargs(eid, horizon_ns)  # noqa: E731
 
@@ -310,6 +397,9 @@ def main(argv=None) -> int:
         snapshot["profile_overhead"] = record_profile_overhead(
             args.profile_figure, kwargs_for
         )
+
+    if args.sweep:
+        snapshot["sweep"] = record_sweep(args)
 
     if args.service:
         snapshot["service"] = record_service(figures, args)

@@ -14,6 +14,7 @@ from .experiment import (
     gpu_relative_performance,
     make_run_key,
     planning,
+    planning_active,
     run_workloads,
     set_disk_cache,
     simulate_run,
@@ -45,7 +46,14 @@ from .runcache import (
     run_key_digest,
     set_cost_ledger,
 )
-from .pareto import ParetoPoint, dominates, frontier_labels, pareto_frontier
+from .pareto import (
+    ParetoPoint,
+    dominates,
+    frontier_labels,
+    pareto_frontier,
+    pareto_frontier_map,
+    vector_dominates,
+)
 from .projection import ProjectionPoint, project_accelerator_scaling
 from .tracing import (
     STAGE_SEQUENCE,
@@ -81,6 +89,7 @@ __all__ = [
     "order_longest_first",
     "plan_runs",
     "planning",
+    "planning_active",
     "prewarm_experiments",
     "reset_code_fingerprint",
     "resolve_jobs",
@@ -104,6 +113,8 @@ __all__ = [
     "total_mean_latency_ns",
     "gpu_relative_performance",
     "pareto_frontier",
+    "pareto_frontier_map",
     "project_accelerator_scaling",
     "run_workloads",
+    "vector_dominates",
 ]

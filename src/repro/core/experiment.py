@@ -138,6 +138,17 @@ def cache_store(
         _DISK_CACHE.put(key, metrics, elapsed_s=elapsed_s)
 
 
+def planning_active() -> bool:
+    """True while a :func:`planning` context is recording run keys.
+
+    Layers that fan runs out through :func:`~repro.core.planner.execute_runs`
+    themselves (the ablation sweeps, the search driver) must skip the
+    fan-out when the planner is merely recording their grid — otherwise a
+    planning pass would actually simulate.
+    """
+    return _PLANNING is not None
+
+
 @contextmanager
 def planning() -> Iterator[Set[RunKey]]:
     """Record run keys instead of simulating; yields the collecting set."""

@@ -1,0 +1,193 @@
+"""Objective extraction: from run metrics to a Pareto objective vector.
+
+The paper evaluates a configuration along four axes (Figs. 7–9, Sec. VI):
+
+* **cpu_perf** (maximize) — CPU application performance under SSRs,
+  normalized to the same pair with the GPU generating no SSRs;
+* **gpu_perf** (maximize) — GPU progress (SSR completion rate for the
+  microbenchmark), normalized to the same GPU app with idle CPUs under
+  the *base* configuration;
+* **ssr_latency_us** (minimize) — mean SSR service latency seen by the
+  accelerator;
+* **cc6_residency** (maximize) — deep-sleep residency, the paper's
+  energy-efficiency proxy (Fig. 4/9).
+
+An :class:`EvaluationContext` fixes the workload pairing and horizon,
+names the run keys one candidate point needs (a single swept pair run;
+the two baselines are shared by every point and therefore cached after
+the first evaluation), and turns the finished metrics into the raw
+objective vector.  :func:`maximized_vector` orients that vector so every
+axis is maximize — the form :func:`repro.core.pareto_frontier_map`
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core import make_run_key, run_workloads
+from ..core.metrics import SystemMetrics
+from ..core.runcache import RunKey
+from .space import Point, SearchSpace
+
+#: Objective directions.
+MAXIMIZE = "max"
+MINIMIZE = "min"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the trade-off: a name, a direction, and a unit."""
+
+    name: str
+    direction: str
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self):
+        if self.direction not in (MAXIMIZE, MINIMIZE):
+            raise ValueError(
+                f"objective {self.name!r}: direction must be "
+                f"'{MAXIMIZE}' or '{MINIMIZE}', got {self.direction!r}"
+            )
+
+
+#: The paper-aligned objective vector, in canonical order.
+OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(
+        name="cpu_perf",
+        direction=MAXIMIZE,
+        unit="x",
+        description="CPU app performance vs. the no-SSR baseline pair",
+    ),
+    Objective(
+        name="gpu_perf",
+        direction=MAXIMIZE,
+        unit="x",
+        description="GPU progress vs. the idle-CPU baseline",
+    ),
+    Objective(
+        name="ssr_latency_us",
+        direction=MINIMIZE,
+        unit="us",
+        description="mean SSR service latency at the accelerator",
+    ),
+    Objective(
+        name="cc6_residency",
+        direction=MAXIMIZE,
+        unit="frac",
+        description="CC6 deep-sleep residency over the run",
+    ),
+)
+
+OBJECTIVE_NAMES: Tuple[str, ...] = tuple(o.name for o in OBJECTIVES)
+
+
+def maximized_vector(vector: Tuple[float, ...]) -> Tuple[float, ...]:
+    """Orient a raw objective vector so every axis is maximized.
+
+    Minimized axes are negated; the transform is its own inverse, and
+    dominance on the result equals the mixed-direction dominance on the
+    raw vector.
+    """
+    if len(vector) != len(OBJECTIVES):
+        raise ValueError(
+            f"expected {len(OBJECTIVES)} objectives, got {len(vector)}"
+        )
+    return tuple(
+        value if objective.direction == MAXIMIZE else -value
+        for objective, value in zip(OBJECTIVES, vector)
+    )
+
+
+@dataclass(frozen=True)
+class EvaluationContext:
+    """Fixed workload pairing + horizon every candidate is judged under."""
+
+    base_config: SystemConfig
+    cpu_name: str = "x264"
+    gpu_name: str = "ubench"
+    horizon_ns: int = 20_000_000
+
+    # ------------------------------------------------------------------
+    # Run keys
+    # ------------------------------------------------------------------
+    def baseline_keys(self) -> List[RunKey]:
+        """The two shared normalization runs (no-SSR pair, idle-CPU GPU)."""
+        return [
+            make_run_key(
+                self.cpu_name, self.gpu_name, False, self.base_config, self.horizon_ns
+            ),
+            make_run_key(
+                None, self.gpu_name, True, self.base_config, self.horizon_ns
+            ),
+        ]
+
+    def point_config(self, space: SearchSpace, point: Point) -> SystemConfig:
+        return space.apply(self.base_config, point)
+
+    def point_key(self, space: SearchSpace, point: Point) -> RunKey:
+        """The single swept co-execution run a candidate point needs."""
+        return make_run_key(
+            self.cpu_name,
+            self.gpu_name,
+            True,
+            self.point_config(space, point),
+            self.horizon_ns,
+        )
+
+    def keys_for(self, space: SearchSpace, points: List[Point]) -> List[RunKey]:
+        """Baselines + one pair run per point, deduplicated, in order."""
+        keys = self.baseline_keys()
+        seen = set(keys)
+        for point in points:
+            key = self.point_key(space, point)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    # ------------------------------------------------------------------
+    # Vector extraction
+    # ------------------------------------------------------------------
+    def vector(
+        self,
+        pair: SystemMetrics,
+        baseline: Optional[SystemMetrics] = None,
+        idle: Optional[SystemMetrics] = None,
+    ) -> Tuple[float, ...]:
+        """The raw objective vector of one evaluated pair run.
+
+        ``baseline``/``idle`` default to running (cache-served) the
+        shared normalization pairs.
+        """
+        if baseline is None:
+            baseline = run_workloads(
+                self.cpu_name, self.gpu_name, False, self.base_config, self.horizon_ns
+            )
+        if idle is None:
+            idle = run_workloads(
+                None, self.gpu_name, True, self.base_config, self.horizon_ns
+            )
+        cpu_perf = pair.cpu_app.instructions / baseline.cpu_app.instructions
+        idle_metric = idle.gpu.performance_metric()
+        gpu_perf = pair.gpu.performance_metric() / idle_metric if idle_metric else 0.0
+        return (
+            cpu_perf,
+            gpu_perf,
+            pair.gpu.mean_ssr_latency_ns / 1e3,
+            pair.cc6_residency,
+        )
+
+    def evaluate(self, space: SearchSpace, point: Point) -> Tuple[float, ...]:
+        """Run (or cache-serve) one point's pair and extract its vector."""
+        pair = run_workloads(
+            self.cpu_name,
+            self.gpu_name,
+            True,
+            self.point_config(space, point),
+            self.horizon_ns,
+        )
+        return self.vector(pair)

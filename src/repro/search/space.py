@@ -1,0 +1,272 @@
+"""Typed search space over :class:`~repro.config.SystemConfig` knobs.
+
+A :class:`SearchSpace` is an ordered collection of :class:`Knob`\\ s, each
+declaring a finite, ordered value domain and how a chosen value lands on
+a ``SystemConfig``.  A *point* is a plain ``{knob_name: value}`` dict;
+:meth:`SearchSpace.encode` renders it canonically (sorted keys, fixed
+separators) so a point has exactly one byte representation — the key the
+driver's archive, journal, and dedup logic all share.
+
+The default space (:func:`default_space`) covers the paper's prescriptive
+knobs: the IOMMU coalescing window (Sec. V-B), the MSI steering core
+(Sec. V-A), the monolithic bottom half (Sec. V-C), the GPU's
+outstanding-SSR hardware limit (the backpressure substrate of Sec. VI),
+and the QoS governor threshold including the adaptive mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from ..config import COALESCE_WINDOW_PAPER_NS, SystemConfig
+
+#: A candidate configuration: knob name -> chosen value.
+Point = Dict[str, Any]
+
+#: Sentinel value meaning "steering disabled" for the steering knob.
+STEER_OFF = -1
+
+#: Sentinel value meaning "QoS disabled" for the qos knob.
+QOS_OFF = "off"
+
+#: QoS knob value selecting the adaptive governor mode.
+QOS_ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable dimension: a name, a finite ordered domain, an applier.
+
+    ``values`` must be JSON-scalar (int/float/bool/str), unique, and in a
+    meaningful order — the mutation sampler treats adjacent values as
+    neighbors.  ``apply`` folds a chosen value onto a ``SystemConfig``.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    apply: Callable[[SystemConfig, Any], SystemConfig]
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"knob {self.name!r} has an empty domain")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"knob {self.name!r} has duplicate values")
+        for value in self.values:
+            if not isinstance(value, (int, float, bool, str)):
+                raise TypeError(
+                    f"knob {self.name!r}: value {value!r} is not a JSON scalar"
+                )
+
+    def index_of(self, value: Any) -> int:
+        """Position of ``value`` in the domain (raises for foreign values)."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"knob {self.name!r}: {value!r} not in domain {list(self.values)}"
+            ) from None
+
+
+class SearchSpace:
+    """An ordered set of knobs plus point validation/encoding/application."""
+
+    def __init__(self, knobs: Sequence[Knob]):
+        if not knobs:
+            raise ValueError("a search space needs at least one knob")
+        names = [knob.name for knob in knobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate knob names: {names}")
+        self.knobs: Tuple[Knob, ...] = tuple(knobs)
+        self._by_name = {knob.name: knob for knob in self.knobs}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    @property
+    def names(self) -> List[str]:
+        return [knob.name for knob in self.knobs]
+
+    def knob(self, name: str) -> Knob:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown knob {name!r}; known: {self.names}"
+            ) from None
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the full cartesian grid."""
+        total = 1
+        for knob in self.knobs:
+            total *= len(knob.values)
+        return total
+
+    def digest(self) -> str:
+        """SHA-256 over knob names and domains (not the applier code).
+
+        Folded into the sweep journal's metadata so a resumed sweep can
+        refuse to continue against a reshaped space.
+        """
+        doc = [[knob.name, list(knob.values)] for knob in self.knobs]
+        rendered = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(rendered.encode("utf-8"))
+        digest.update(SystemConfig.schema_digest().encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Points
+    # ------------------------------------------------------------------
+    def validate(self, point: Point) -> Point:
+        """Check ``point`` names every knob exactly once with a legal value.
+
+        Returns the validated point (a fresh dict in knob order).
+        """
+        if not isinstance(point, dict):
+            raise TypeError(f"a point must be a dict, got {type(point).__name__}")
+        unknown = sorted(set(point) - set(self._by_name))
+        if unknown:
+            raise ValueError(f"unknown knob(s) {unknown}; known: {self.names}")
+        missing = [name for name in self.names if name not in point]
+        if missing:
+            raise ValueError(f"point is missing knob(s) {missing}")
+        validated: Point = {}
+        for knob in self.knobs:
+            knob.index_of(point[knob.name])  # raises on foreign values
+            validated[knob.name] = point[knob.name]
+        return validated
+
+    def encode(self, point: Point) -> str:
+        """The canonical byte representation of a validated point."""
+        validated = self.validate(point)
+        return json.dumps(validated, sort_keys=True, separators=(",", ":"))
+
+    def decode(self, encoded: str) -> Point:
+        """Invert :meth:`encode` (validates on the way in)."""
+        return self.validate(json.loads(encoded))
+
+    def point_from_indices(self, indices: Sequence[int]) -> Point:
+        """Build a point from one domain index per knob (sampler helper)."""
+        if len(indices) != len(self.knobs):
+            raise ValueError(
+                f"expected {len(self.knobs)} indices, got {len(indices)}"
+            )
+        return {
+            knob.name: knob.values[index % len(knob.values)]
+            for knob, index in zip(self.knobs, indices)
+        }
+
+    def grid(self) -> Iterator[Point]:
+        """Every point of the cartesian grid, in canonical knob-major order."""
+        indices = [0] * len(self.knobs)
+        while True:
+            yield self.point_from_indices(indices)
+            position = len(indices) - 1
+            while position >= 0:
+                indices[position] += 1
+                if indices[position] < len(self.knobs[position].values):
+                    break
+                indices[position] = 0
+                position -= 1
+            if position < 0:
+                return
+
+    def apply(self, config: SystemConfig, point: Point) -> SystemConfig:
+        """Fold a validated point's knobs onto ``config``, in knob order."""
+        validated = self.validate(point)
+        for knob in self.knobs:
+            config = knob.apply(config, validated[knob.name])
+        return config
+
+    def point_label(self, point: Point) -> str:
+        """A compact human label (``knob=value`` pairs, knob order)."""
+        validated = self.validate(point)
+        return " ".join(f"{name}={validated[name]}" for name in self.names)
+
+
+# ----------------------------------------------------------------------
+# The default space: the paper's prescriptive knobs
+# ----------------------------------------------------------------------
+def _apply_coalesce(config: SystemConfig, window_us: Any) -> SystemConfig:
+    return config.with_mitigation(coalesce_window_ns=int(window_us) * 1_000)
+
+
+def _apply_steering(config: SystemConfig, core: Any) -> SystemConfig:
+    if core == STEER_OFF:
+        return config.with_mitigation(steer_to_single_core=False)
+    return config.with_mitigation(
+        steer_to_single_core=True, steering_target=int(core)
+    )
+
+
+def _apply_monolithic(config: SystemConfig, enabled: Any) -> SystemConfig:
+    return config.with_mitigation(monolithic_bottom_half=bool(enabled))
+
+
+def _apply_outstanding(config: SystemConfig, limit: Any) -> SystemConfig:
+    return replace(config, gpu=replace(config.gpu, max_outstanding_ssrs=int(limit)))
+
+
+def _apply_qos(config: SystemConfig, mode: Any) -> SystemConfig:
+    if mode == QOS_OFF:
+        return config.with_qos(enabled=False)
+    if mode == QOS_ADAPTIVE:
+        return config.with_qos(enabled=True, adaptive=True)
+    # "th_5" -> threshold 0.05 (the paper's th_25/th_5/th_1 notation).
+    if not (isinstance(mode, str) and mode.startswith("th_")):
+        raise ValueError(f"unknown qos mode {mode!r}")
+    threshold = int(mode[3:]) / 100.0
+    return config.with_qos(
+        enabled=True, adaptive=False, ssr_time_threshold=threshold
+    )
+
+
+def default_space(num_cores: int = 4) -> SearchSpace:
+    """The paper-aligned mitigation + QoS search space (1200 points).
+
+    ``num_cores`` bounds the steering-core knob (steering to a core the
+    machine does not have would be invalid).
+    """
+    steer_values: Tuple[Any, ...] = (STEER_OFF, *range(num_cores))
+    return SearchSpace(
+        [
+            Knob(
+                name="coalesce_us",
+                values=(0, 4, 13, 26, 52),
+                apply=_apply_coalesce,
+                description="IOMMU interrupt-coalescing window (µs); "
+                f"paper hardware max is {COALESCE_WINDOW_PAPER_NS // 1_000} µs",
+            ),
+            Knob(
+                name="steer_core",
+                values=steer_values,
+                apply=_apply_steering,
+                description="MSI steering target core (-1 = spread, Sec. V-A)",
+            ),
+            Knob(
+                name="monolithic",
+                values=(False, True),
+                apply=_apply_monolithic,
+                description="fold the bottom half into the top half (Sec. V-C)",
+            ),
+            Knob(
+                name="outstanding",
+                values=(8, 16, 32, 64),
+                apply=_apply_outstanding,
+                description="GPU outstanding-SSR hardware limit (backpressure)",
+            ),
+            Knob(
+                name="qos",
+                values=(QOS_OFF, "th_25", "th_10", "th_5", "th_1", QOS_ADAPTIVE),
+                apply=_apply_qos,
+                description="Sec. VI governor: off, fixed threshold, or adaptive",
+            ),
+        ]
+    )

@@ -1,6 +1,17 @@
 """Unit tests for Pareto-frontier analysis."""
 
-from repro.core import ParetoPoint, dominates, frontier_labels, pareto_frontier
+import itertools
+
+import pytest
+
+from repro.core import (
+    ParetoPoint,
+    dominates,
+    frontier_labels,
+    pareto_frontier,
+    pareto_frontier_map,
+    vector_dominates,
+)
 
 
 def p(label, cpu, gpu):
@@ -51,6 +62,54 @@ class TestFrontier:
     def test_single_point_is_frontier(self):
         assert frontier_labels([p("only", 1, 1)]) == ["only"]
 
-    def test_duplicates_survive(self):
-        points = [p("a", 2, 2), p("b", 2, 2)]
-        assert set(frontier_labels(points)) == {"a", "b"}
+    def test_identical_vectors_collapse_deterministically(self):
+        """Ties on both axes dedup to the lexicographically smallest label."""
+        points = [p("b", 2, 2), p("a", 2, 2)]
+        assert frontier_labels(points) == ["a"]
+        assert frontier_labels(list(reversed(points))) == ["a"]
+
+    def test_insertion_order_never_changes_the_frontier(self):
+        """Regression: the frontier is a pure function of the point *set*."""
+        points = [p("tie1", 2, 2), p("tie2", 2, 2), p("cpu", 3, 1),
+                  p("gpu", 1, 3), p("dom", 1, 1)]
+        expected = frontier_labels(points)
+        for order in itertools.permutations(points):
+            assert frontier_labels(list(order)) == expected
+        assert expected == ["gpu", "tie1", "cpu"]
+
+    def test_conflicting_points_sharing_a_label_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            pareto_frontier([p("a", 1, 1), p("a", 2, 2)])
+
+    def test_exact_duplicate_points_are_harmless(self):
+        assert frontier_labels([p("a", 2, 2), p("a", 2, 2)]) == ["a"]
+
+
+class TestVectorLayer:
+    def test_vector_dominates_basics(self):
+        assert vector_dominates((2, 2, 2), (1, 2, 2))
+        assert not vector_dominates((1, 1, 1), (1, 1, 1))
+        assert not vector_dominates((2, 1), (1, 2))
+
+    def test_vector_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            vector_dominates((1, 2), (1, 2, 3))
+
+    def test_frontier_map_dedups_and_sorts(self):
+        items = {"z": (2.0, 2.0), "a": (2.0, 2.0), "low": (1.0, 1.0),
+                 "edge": (3.0, 0.5)}
+        frontier = pareto_frontier_map(items)
+        assert frontier == [("a", (2.0, 2.0)), ("edge", (3.0, 0.5))]
+
+    def test_frontier_map_order_independent(self):
+        items = [("c", (1.0, 3.0)), ("b", (2.0, 2.0)), ("a", (3.0, 1.0)),
+                 ("dup", (2.0, 2.0)), ("dom", (0.5, 0.5))]
+        expected = pareto_frontier_map(dict(items))
+        for order in itertools.permutations(items):
+            assert pareto_frontier_map(dict(order)) == expected
+
+    def test_frontier_map_supports_many_dimensions(self):
+        items = {"a": (1.0, 1.0, 1.0, 9.0), "b": (2.0, 2.0, 2.0, 1.0),
+                 "dominated": (1.0, 1.0, 1.0, 1.0)}
+        labels = [label for label, _vector in pareto_frontier_map(items)]
+        assert labels == ["a", "b"]

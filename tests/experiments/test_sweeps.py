@@ -69,3 +69,43 @@ class TestSweepQos:
         adaptive_cpu = result.cell("adaptive", "cpu_perf")
         off_cpu = result.cell("off", "cpu_perf")
         assert adaptive_cpu > off_cpu
+
+
+class TestSweepFanOut:
+    """The sweeps now batch through execute_runs; results must not change."""
+
+    def test_jobs_parallel_rows_identical_to_serial(self):
+        from repro.core import clear_cache
+
+        clear_cache()
+        serial = run_experiment(
+            "sweep_qos", thresholds=[0.05], horizon_ns=HORIZON, jobs=1
+        )
+        clear_cache()
+        parallel = run_experiment(
+            "sweep_qos", thresholds=[0.05], horizon_ns=HORIZON, jobs=2
+        )
+        assert serial.rows == parallel.rows
+
+    def test_sweeps_remain_plannable(self):
+        from repro.core import clear_cache
+        from repro.core.experiment import planning
+
+        clear_cache()
+        with planning() as keys:
+            run_experiment("sweep_coalesce", windows_us=[0, 13], horizon_ns=HORIZON)
+            run_experiment("sweep_dispatch", latencies_us=[0, 36], horizon_ns=HORIZON)
+        # Planning recorded the grids without simulating anything.
+        assert len(keys) >= 9
+        clear_cache()
+
+    def test_fan_out_skips_during_planning(self):
+        """A planning pass over a sweep must not execute runs."""
+        from repro.core import clear_cache
+        from repro.core.experiment import _CACHE, planning
+
+        clear_cache()
+        with planning():
+            run_experiment("sweep_outstanding", limits=[1, 2], horizon_ns=HORIZON)
+        assert len(_CACHE) == 0  # placeholders are never cached
+        clear_cache()

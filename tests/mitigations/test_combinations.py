@@ -1,8 +1,12 @@
 """Unit tests for mitigation configuration builders."""
 
+import itertools
+
 import pytest
 
 from repro.config import COALESCE_WINDOW_PAPER_NS, SystemConfig
+from repro.core import make_run_key
+from repro.core.runcache import run_key_digest, run_key_document
 from repro.mitigations import (
     ALL_COMBINATIONS,
     apply_mitigations,
@@ -58,6 +62,86 @@ class TestCombinations:
     def test_combinations_are_distinct(self):
         configs = {combination(SystemConfig(), label) for label in ALL_COMBINATIONS}
         assert len(configs) == 8
+
+
+class TestCombinationIdentity:
+    """The properties the search archive and run cache lean on."""
+
+    def test_flags_are_the_full_boolean_cross_product(self):
+        flags = set(ALL_COMBINATIONS.values())
+        assert flags == set(itertools.product((False, True), repeat=3))
+
+    def test_stable_digests_all_distinct(self):
+        digests = {
+            combination(SystemConfig(), label).stable_digest()
+            for label in ALL_COMBINATIONS
+        }
+        assert len(digests) == len(ALL_COMBINATIONS)
+
+    def test_stable_digest_ignores_construction_path(self):
+        """The same semantic config digests identically however it is built."""
+        via_label = combination(SystemConfig(), "Intr_to_single_core + Intr_coalescing")
+        via_flags = apply_mitigations(SystemConfig(), steer=True, coalesce=True)
+        via_builders = coalescing(steering(SystemConfig()))
+        assert via_label.stable_digest() == via_flags.stable_digest()
+        # Builders do not stamp the combination label, but the digest is
+        # over semantics plus label — so only the labeled paths collide.
+        assert via_builders.mitigation.steer_to_single_core
+        assert via_builders.mitigation.coalesce_window_ns > 0
+
+    def test_run_key_canonicalization_round_trip(self):
+        """A run key's document round-trips and digests stably per combo."""
+        fingerprint = "test-fingerprint"
+        digests = set()
+        for label in ALL_COMBINATIONS:
+            config = combination(SystemConfig(), label)
+            key = make_run_key("x264", "ubench", True, config, 1_000_000)
+            document = run_key_document(key, fingerprint)
+            assert document["cpu"] == "x264"
+            assert document["gpu"] == "ubench"
+            digest = run_key_digest(key, fingerprint)
+            rebuilt = make_run_key("x264", "ubench", True, config, 1_000_000)
+            assert run_key_digest(rebuilt, fingerprint) == digest
+            digests.add(digest)
+        assert len(digests) == len(ALL_COMBINATIONS)
+
+
+class TestFigureGridAlignment:
+    """The 8-combination grid is exactly what Figs. 6-8 draw from."""
+
+    def test_fig7_defaults_to_the_full_grid(self):
+        """Planning fig7 with defaults touches all eight combination configs."""
+        from repro.core.experiment import planning
+        from repro.experiments.fig7_pareto_ubench import run as fig7_run
+
+        with planning() as keys:
+            fig7_run(cpu_names=["x264"], horizon_ns=1_000_000)
+        planned_labels = {key[3].mitigation.label for key in keys}
+        expected = {
+            combination(SystemConfig(), label).mitigation.label
+            for label in ALL_COMBINATIONS
+        }
+        assert expected <= planned_labels
+
+    def test_fig8_combos_are_a_subset_of_the_grid(self):
+        from repro.experiments.fig8_pareto_apps import PAPER_FIG8_COMBOS
+
+        assert set(PAPER_FIG8_COMBOS) <= set(ALL_COMBINATIONS)
+        assert len(PAPER_FIG8_COMBOS) == len(set(PAPER_FIG8_COMBOS))
+
+    def test_fig6_builders_match_single_mitigation_combos(self):
+        from repro.experiments.fig6_mitigations import _BUILDERS
+
+        matching = {
+            "steering": "Intr_to_single_core",
+            "coalescing": "Intr_coalescing",
+            "monolithic": "Monolithic_bottom_half",
+        }
+        assert set(_BUILDERS) == set(matching)
+        for builder_name, label in matching.items():
+            built = _BUILDERS[builder_name](SystemConfig())
+            combo = combination(SystemConfig(), label)
+            assert built.mitigation == combo.mitigation
 
 
 class TestConfigHelpers:

@@ -1,0 +1,41 @@
+"""Shared fixtures for the autotuner tests: tiny spaces, isolated caches."""
+
+import pytest
+
+from repro.core import clear_cache, set_disk_cache
+from repro.search.space import Knob, SearchSpace, _apply_coalesce, _apply_qos
+
+#: Short horizon keeps every simulated evaluation in milliseconds.
+HORIZON = 1_000_000
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_cache()
+    set_disk_cache(None)
+    yield
+    clear_cache()
+    set_disk_cache(None)
+
+
+def tiny_space() -> SearchSpace:
+    """A 2x2 space over real knobs — 4 points, fast to exhaust."""
+    return SearchSpace(
+        [
+            Knob(
+                name="coalesce_us",
+                values=(0, 13),
+                apply=_apply_coalesce,
+            ),
+            Knob(
+                name="qos",
+                values=("off", "th_5"),
+                apply=_apply_qos,
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def space():
+    return tiny_space()

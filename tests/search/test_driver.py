@@ -1,0 +1,225 @@
+"""Driver contract tests: determinism, resume convergence, zero-sim warmth."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import clear_cache, set_disk_cache
+from repro.core.runcache import DiskCache
+from repro.search.driver import (
+    SweepDriver,
+    SweepInterrupted,
+    SweepResult,
+    SweepSettings,
+    load_journal,
+    replay_journal,
+)
+
+from .conftest import HORIZON
+
+SETTINGS = SweepSettings(
+    seed=11, budget=4, round_size=2, strategy="evolve", horizon_ns=HORIZON
+)
+
+
+def driver(space, tmp_path, name, **kwargs):
+    return SweepDriver(
+        space,
+        kwargs.pop("settings", SETTINGS),
+        state_path=str(tmp_path / f"{name}.jsonl"),
+        **kwargs,
+    )
+
+
+class TestSettings:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            SweepSettings(budget=0)
+        with pytest.raises(ValueError, match="round_size"):
+            SweepSettings(round_size=-1)
+
+    def test_result_summary_mentions_simulated(self):
+        line = SweepResult(simulations=0).summary()
+        assert "simulated 0" in line
+
+
+class TestDeterminism:
+    def test_same_seed_budget_byte_identical_archives(self, space, tmp_path):
+        a = driver(space, tmp_path, "a")
+        b = driver(space, tmp_path, "b")
+        a.run()
+        b.run()
+        with open(a.archive_path, "rb") as fa, open(b.archive_path, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_different_seed_changes_journal(self, space, tmp_path):
+        a = driver(space, tmp_path, "a")
+        other = SweepSettings(
+            seed=12, budget=4, round_size=2, strategy="evolve", horizon_ns=HORIZON
+        )
+        b = driver(space, tmp_path, "b", settings=other)
+        a.run()
+        b.run()
+        meta_a = load_journal(a.state_path)[0]
+        meta_b = load_journal(b.state_path)[0]
+        assert meta_a["seed"] != meta_b["seed"]
+
+    def test_budget_respected_and_result_counts(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        result = d.run()
+        assert result.evaluations <= SETTINGS.budget
+        assert result.evaluations == len(d.archive)
+        assert result.frontier_size >= 1
+        assert result.rounds >= 1
+
+    def test_exhausted_space_stops_before_budget(self, space, tmp_path):
+        greedy = SweepSettings(
+            seed=1, budget=50, round_size=10, strategy="grid", horizon_ns=HORIZON
+        )
+        result = driver(space, tmp_path, "a", settings=greedy).run()
+        assert result.evaluations == space.size  # 4-point grid fully swept
+        assert result.stopped == "exhausted"
+
+    def test_max_rounds_stops_early(self, space, tmp_path):
+        capped = SweepSettings(
+            seed=1, budget=50, round_size=1, strategy="grid",
+            horizon_ns=HORIZON, max_rounds=2,
+        )
+        result = driver(space, tmp_path, "a", settings=capped).run()
+        assert result.rounds == 2
+        assert result.stopped == "max_rounds"
+
+
+class TestJournal:
+    def test_journal_schema(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        records = load_journal(d.state_path)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "meta"
+        assert "eval" in kinds and "round" in kinds
+        meta = records[0]
+        assert meta["space_digest"] == space.digest()
+        for record in records:
+            if record["kind"] == "eval":
+                space.validate(record["point"])
+                assert len(record["vector"]) == 4
+
+    def test_fresh_run_refuses_existing_journal(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        again = driver(space, tmp_path, "a")
+        with pytest.raises(FileExistsError):
+            again.run()
+
+    def test_resume_requires_journal(self, space, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            driver(space, tmp_path, "missing").run(resume=True)
+
+    def test_resume_rejects_drifted_settings(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        drifted = SweepSettings(
+            seed=99, budget=4, round_size=2, strategy="evolve", horizon_ns=HORIZON
+        )
+        with pytest.raises(ValueError, match="seed"):
+            driver(space, tmp_path, "a", settings=drifted).run(resume=True)
+
+    def test_replay_drops_partial_rounds(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        records = load_journal(d.state_path)
+        # Forge a partial round: evals journaled but no round record.
+        point = next(iter(space.grid()))
+        records.append(
+            {"kind": "eval", "round": 99, "point": point, "vector": [1, 1, 1, 1]}
+        )
+        state = replay_journal(records, space)
+        encodings = set(state["archive"])
+        assert state["next_round"] == d.result.rounds
+        full = replay_journal(load_journal(d.state_path), space)
+        assert encodings == set(full["archive"])  # forged eval ignored
+
+    def test_torn_final_line_skipped(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        with open(d.state_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "eval", "round"')  # simulated crash
+        records = load_journal(d.state_path)
+        assert all(r["kind"] in ("meta", "eval", "round") for r in records)
+
+
+class TestResumeConvergence:
+    def test_interrupt_plus_resume_matches_uninterrupted(self, space, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        set_disk_cache(cache)
+
+        interrupted = driver(space, tmp_path, "killed", interrupt_after=3)
+        with pytest.raises(SweepInterrupted):
+            interrupted.run()
+        partial = replay_journal(load_journal(interrupted.state_path), space)
+        assert len(partial["archive"]) < SETTINGS.budget
+
+        # A new process: in-memory cache gone, disk cache survives.
+        clear_cache()
+        resumed = driver(space, tmp_path, "killed")
+        result = resumed.run(resume=True)
+        assert result.simulations == 0  # every re-proposed run is on disk
+        assert result.restored > 0
+
+        clear_cache()
+        reference = driver(space, tmp_path, "reference")
+        reference.run()
+        with open(resumed.archive_path, "rb") as fa, \
+                open(reference.archive_path, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_warm_rerun_executes_zero_simulations(self, space, tmp_path):
+        set_disk_cache(DiskCache(str(tmp_path / "cache")))
+        cold = driver(space, tmp_path, "cold")
+        cold_result = cold.run()
+        assert cold_result.simulations > 0
+
+        clear_cache()  # fresh process; disk cache remains
+        warm = driver(space, tmp_path, "warm")
+        warm_result = warm.run()
+        assert warm_result.simulations == 0
+        assert warm_result.cache_served > 0
+        with open(cold.archive_path, "rb") as fa, \
+                open(warm.archive_path, "rb") as fb:
+            assert fa.read() == fb.read()
+
+
+class TestTelemetry:
+    def test_spans_and_gauges(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        span_names = [span.name for span in d.recorder.spans()]
+        assert any(name.startswith("round ") for name in span_names)
+        gauges = d.gauges()
+        assert set(gauges) == {
+            "search.evaluations",
+            "search.cache_served",
+            "search.simulations",
+            "search.frontier_size",
+            "search.rounds",
+        }
+        assert gauges["search.evaluations"] == d.result.evaluations
+        counters = d.registry.snapshot()["counters"]
+        assert counters["search.evaluations"] == d.result.evaluations
+        assert counters["search.rounds"] == d.result.rounds
+
+    def test_archive_document_is_canonical_json(self, space, tmp_path):
+        d = driver(space, tmp_path, "a")
+        d.run()
+        with open(d.archive_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        document = json.loads(text)
+        rendered = json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+        assert text == rendered
+        assert document["objectives"] == [
+            "cpu_perf", "gpu_perf", "ssr_latency_us", "cc6_residency",
+        ]
+        for entry in document["frontier"]:
+            space.validate(entry["point"])

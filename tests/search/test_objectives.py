@@ -1,0 +1,89 @@
+"""Tests for objective extraction from run metrics."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.search.objectives import (
+    OBJECTIVE_NAMES,
+    OBJECTIVES,
+    EvaluationContext,
+    Objective,
+    maximized_vector,
+)
+
+from .conftest import HORIZON
+
+
+def context():
+    return EvaluationContext(base_config=SystemConfig(), horizon_ns=HORIZON)
+
+
+class TestObjective:
+    def test_directions_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            Objective(name="x", direction="sideways")
+
+    def test_paper_vector_shape(self):
+        assert OBJECTIVE_NAMES == (
+            "cpu_perf", "gpu_perf", "ssr_latency_us", "cc6_residency",
+        )
+        directions = [o.direction for o in OBJECTIVES]
+        assert directions == ["max", "max", "min", "max"]
+
+
+class TestMaximizedVector:
+    def test_negates_only_minimized_axes(self):
+        raw = (1.0, 2.0, 3.0, 4.0)
+        assert maximized_vector(raw) == (1.0, 2.0, -3.0, 4.0)
+
+    def test_involution(self):
+        raw = (0.5, 1.5, 40.0, 0.2)
+        assert maximized_vector(maximized_vector(raw)) == raw
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            maximized_vector((1.0, 2.0))
+
+
+class TestEvaluationContext:
+    def test_baselines_lead_and_keys_dedup(self, space):
+        ctx = context()
+        points = [
+            {"coalesce_us": 0, "qos": "off"},
+            {"coalesce_us": 0, "qos": "off"},  # duplicate point
+            {"coalesce_us": 13, "qos": "off"},
+        ]
+        keys = ctx.keys_for(space, points)
+        assert keys[:2] == ctx.baseline_keys()
+        assert len(keys) == 4  # 2 baselines + 2 unique pair runs
+        assert len(set(keys)) == len(keys)
+
+    def test_point_key_carries_applied_config(self, space):
+        ctx = context()
+        key = ctx.point_key(space, {"coalesce_us": 13, "qos": "off"})
+        cpu_name, gpu_name, ssr_enabled, config, horizon_ns = key
+        assert (cpu_name, gpu_name, ssr_enabled) == ("x264", "ubench", True)
+        assert config.mitigation.coalesce_window_ns == 13_000
+        assert horizon_ns == HORIZON
+
+    def test_evaluate_returns_plausible_vector(self, space):
+        ctx = context()
+        vector = ctx.evaluate(space, {"coalesce_us": 0, "qos": "off"})
+        assert len(vector) == len(OBJECTIVES)
+        cpu_perf, gpu_perf, latency_us, cc6 = vector
+        assert 0.0 < cpu_perf <= 1.5
+        assert gpu_perf > 0.0
+        assert latency_us > 0.0
+        assert 0.0 <= cc6 <= 1.0
+
+    def test_evaluate_is_deterministic(self, space):
+        ctx = context()
+        point = {"coalesce_us": 13, "qos": "th_5"}
+        assert ctx.evaluate(space, point) == ctx.evaluate(space, point)
+
+    def test_mitigated_point_beats_default_on_cpu(self, space):
+        """Sanity: coalescing should raise CPU perf versus no mitigation."""
+        ctx = context()
+        default = ctx.evaluate(space, {"coalesce_us": 0, "qos": "off"})
+        coalesced = ctx.evaluate(space, {"coalesce_us": 13, "qos": "off"})
+        assert coalesced[0] > default[0]

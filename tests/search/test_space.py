@@ -1,0 +1,151 @@
+"""Unit tests for the typed search space and its canonical encoding."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.search.space import (
+    QOS_ADAPTIVE,
+    QOS_OFF,
+    STEER_OFF,
+    Knob,
+    SearchSpace,
+    default_space,
+)
+
+
+def noop(config, value):
+    return config
+
+
+class TestKnob:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            Knob(name="k", values=(), apply=noop)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Knob(name="k", values=(1, 1), apply=noop)
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            Knob(name="k", values=((1, 2),), apply=noop)
+
+    def test_index_of(self):
+        knob = Knob(name="k", values=(5, 10, 20), apply=noop)
+        assert knob.index_of(10) == 1
+        with pytest.raises(ValueError, match="not in domain"):
+            knob.index_of(7)
+
+
+class TestSearchSpace:
+    def test_needs_knobs(self):
+        with pytest.raises(ValueError, match="at least one knob"):
+            SearchSpace([])
+
+    def test_duplicate_names_rejected(self):
+        knob = Knob(name="k", values=(1,), apply=noop)
+        with pytest.raises(ValueError, match="duplicate knob names"):
+            SearchSpace([knob, knob])
+
+    def test_size_is_grid_cardinality(self, space):
+        assert space.size == 4
+        assert len(list(space.grid())) == 4
+
+    def test_validate_missing_and_unknown(self, space):
+        with pytest.raises(ValueError, match="missing"):
+            space.validate({"coalesce_us": 0})
+        with pytest.raises(ValueError, match="unknown knob"):
+            space.validate({"coalesce_us": 0, "qos": "off", "bogus": 1})
+        with pytest.raises(ValueError, match="not in domain"):
+            space.validate({"coalesce_us": 7, "qos": "off"})
+        with pytest.raises(TypeError, match="must be a dict"):
+            space.validate([("coalesce_us", 0)])
+
+    def test_encode_is_canonical(self, space):
+        a = space.encode({"coalesce_us": 13, "qos": "off"})
+        b = space.encode({"qos": "off", "coalesce_us": 13})
+        assert a == b
+        assert " " not in a  # compact separators
+
+    def test_encode_decode_round_trip(self, space):
+        for point in space.grid():
+            assert space.decode(space.encode(point)) == point
+
+    def test_grid_order_is_knob_major_and_deterministic(self, space):
+        first = [space.encode(p) for p in space.grid()]
+        second = [space.encode(p) for p in space.grid()]
+        assert first == second
+        assert len(set(first)) == 4
+        # Last knob varies fastest.
+        assert first[0] != first[1]
+        points = list(space.grid())
+        assert points[0]["coalesce_us"] == points[1]["coalesce_us"]
+
+    def test_point_from_indices_wraps(self, space):
+        point = space.point_from_indices([2, 3])
+        space.validate(point)
+
+    def test_apply_lands_on_system_config(self, space):
+        config = space.apply(
+            SystemConfig(), {"coalesce_us": 13, "qos": "th_5"}
+        )
+        assert config.mitigation.coalesce_window_ns == 13_000
+        assert config.qos.enabled
+        assert config.qos.ssr_time_threshold == pytest.approx(0.05)
+
+    def test_digest_tracks_domain_changes(self, space):
+        reshaped = SearchSpace(
+            [
+                Knob(name="coalesce_us", values=(0, 13, 26), apply=noop),
+                space.knob("qos"),
+            ]
+        )
+        assert space.digest() != reshaped.digest()
+        assert space.digest() == space.digest()
+
+    def test_point_label(self, space):
+        label = space.point_label({"qos": "off", "coalesce_us": 0})
+        assert label == "coalesce_us=0 qos=off"
+
+
+class TestDefaultSpace:
+    def test_shape(self):
+        space = default_space()
+        assert space.names == [
+            "coalesce_us", "steer_core", "monolithic", "outstanding", "qos",
+        ]
+        assert space.size == 5 * 5 * 2 * 4 * 6 == 1200
+
+    def test_sentinels_apply(self):
+        space = default_space()
+        base = SystemConfig()
+        off = space.apply(base, {
+            "coalesce_us": 0, "steer_core": STEER_OFF, "monolithic": False,
+            "outstanding": 64, "qos": QOS_OFF,
+        })
+        assert not off.mitigation.steer_to_single_core
+        assert not off.qos.enabled
+        assert off.gpu.max_outstanding_ssrs == 64
+
+        on = space.apply(base, {
+            "coalesce_us": 13, "steer_core": 2, "monolithic": True,
+            "outstanding": 8, "qos": QOS_ADAPTIVE,
+        })
+        assert on.mitigation.steer_to_single_core
+        assert on.mitigation.steering_target == 2
+        assert on.mitigation.monolithic_bottom_half
+        assert on.mitigation.coalesce_window_ns == 13_000
+        assert on.qos.enabled and on.qos.adaptive
+        assert on.gpu.max_outstanding_ssrs == 8
+
+    def test_num_cores_bounds_steering(self):
+        space = default_space(num_cores=2)
+        assert space.knob("steer_core").values == (STEER_OFF, 0, 1)
+
+    def test_unknown_qos_mode_rejected(self):
+        space = default_space()
+        with pytest.raises(ValueError, match="not in domain"):
+            space.apply(SystemConfig(), {
+                "coalesce_us": 0, "steer_core": STEER_OFF, "monolithic": False,
+                "outstanding": 64, "qos": "th_33",
+            })
