@@ -14,7 +14,7 @@ CLI::
     hiss-client result job-000001-abcdef0123
     hiss-client trace job-000001-abcdef0123 [--chrome]
     hiss-client profile job-000001-abcdef0123 [-o profile.json]
-    hiss-client experiments | jobs | health | metrics [--text] | ops
+    hiss-client experiments | jobs | health | metrics [--text] | ops | alerts
 
 ``submit --profile`` asks the daemon to attribute every run's SSR
 interference; fetch the bundle with ``profile`` and render it locally
@@ -198,6 +198,11 @@ class ServiceClient:
         """The ``/v1/ops`` snapshot (what ``hiss-top`` renders)."""
         return self._get("/v1/ops")
 
+    def alerts(self) -> Dict[str, Any]:
+        """The SLO engine's ``/v1/alerts`` document (daemon must run
+        with ``--slo``; render with ``hiss-slo alerts``)."""
+        return self._get("/v1/alerts")
+
     def wait(
         self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.2
     ) -> Dict[str, Any]:
@@ -300,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands.add_parser("experiments", help="list servable experiments")
     commands.add_parser("health", help="print /healthz")
     commands.add_parser("ops", help="print the /v1/ops snapshot")
+    commands.add_parser("alerts", help="print the /v1/alerts SLO document")
     metrics = commands.add_parser("metrics", help="print /metrics")
     metrics.add_argument("--text", action="store_true", help="flat text exposition")
 
@@ -348,6 +354,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 _print_json(bundle)
         elif args.command == "ops":
             _print_json(client.ops())
+        elif args.command == "alerts":
+            _print_json(client.alerts())
         elif args.command == "wait":
             doc = client.wait(args.job_id, timeout_s=args.wait_timeout)
             _print_json(doc)

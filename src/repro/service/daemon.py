@@ -72,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="append structured JSONL ops events to PATH ('-' = stderr)",
     )
     parser.add_argument(
+        "--log-json-max-bytes", type=int, default=None, metavar="N",
+        help="rotate the --log-json file when it reaches N bytes "
+        "(path-backed logs only; off by default)",
+    )
+    parser.add_argument(
+        "--log-json-backups", type=int, default=3, metavar="N",
+        help="rotated generations to keep as PATH.1..PATH.N (default 3)",
+    )
+    parser.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help="enable burn-rate SLO alerting: an SLO spec JSON (hiss.slo/1), "
+        "or 'default' for the built-in objectives "
+        "(see 'hiss-slo default-spec' and docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slo-interval", type=float, default=5.0, metavar="SECONDS",
+        help="SLO engine sampling cadence (default 5s)",
+    )
+    parser.add_argument(
         "--no-trace", action="store_true",
         help="skip capturing in-sim event streams into job traces "
         "(lifecycle spans and /v1/jobs/<id>/trace still work)",
@@ -92,9 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_slos(arg: Optional[str]):
+    """``--slo`` value -> spec list (None stays None = engine disabled)."""
+    if arg is None:
+        return None
+    from ..obsd import DEFAULT_SLOS, parse_slo_document
+
+    if arg == "default":
+        return list(DEFAULT_SLOS)
+    import json
+
+    try:
+        with open(arg) as handle:
+            doc = json.load(handle)
+        return parse_slo_document(doc)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"hiss-serve: --slo {arg}: {error}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    ops_log = OpsLog.open_path(args.log_json)
+    slos = _load_slos(args.slo)
+    ops_log = OpsLog.open_path(
+        args.log_json,
+        max_bytes=args.log_json_max_bytes,
+        backups=args.log_json_backups,
+    )
     if args.pool_recycle is not None:
         from ..core.pool import configure_pool
 
@@ -114,6 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace=not args.no_trace,
         ops_log=ops_log,
         warm_pool=False if args.cold_pool else None,
+        slos=slos,
+        slo_interval_s=args.slo_interval,
     )
     shutdown = threading.Event()
 

@@ -26,6 +26,7 @@ Three deliverables live here:
 from __future__ import annotations
 
 import json
+import os
 import sys
 import threading
 import time
@@ -60,25 +61,58 @@ class OpsLog:
 
     ``{"ts": ..., "event": "job.admitted", "trace": "ab12...", "job":
     "job-000001-...", "queue_depth": 3}``
+
+    Path-backed logs can opt into size-based rotation (``max_bytes`` +
+    keep-``backups``): when the live file crosses the limit it is renamed
+    to ``<path>.1`` (older generations shifting to ``.2``, ``.3``, ...)
+    and a fresh file is opened.  The check-and-rename happens under the
+    same lock as every write, after a complete line + flush, so neither
+    the live file nor any backup ever holds a torn JSON line.
     """
 
-    def __init__(self, stream: Optional[IO[str]] = None):
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        path: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups}")
         self.stream = stream
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
         self._lock = threading.Lock()
         self.lines = 0
+        self.rotations = 0
 
     @property
     def enabled(self) -> bool:
         return self.stream is not None
 
     @classmethod
-    def open_path(cls, path: Optional[str]) -> "OpsLog":
-        """An OpsLog writing to ``path`` (``-`` = stderr, None = disabled)."""
+    def open_path(
+        cls,
+        path: Optional[str],
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+    ) -> "OpsLog":
+        """An OpsLog writing to ``path`` (``-`` = stderr, None = disabled).
+
+        ``max_bytes`` (path-backed logs only) turns on size-based
+        rotation, keeping ``backups`` shifted ``.1``/``.2``/... files.
+        """
         if path is None:
             return cls(None)
         if path == "-":
             return cls(sys.stderr)
-        return cls(open(path, "a", encoding="utf-8"))
+        return cls(
+            open(path, "a", encoding="utf-8"),
+            path=path, max_bytes=max_bytes, backups=backups,
+        )
 
     def log(self, event: str, **fields: Any) -> None:
         if self.stream is None:
@@ -92,6 +126,23 @@ class OpsLog:
             self.stream.write(line + "\n")
             self.stream.flush()
             self.lines += 1
+            if (
+                self.max_bytes is not None
+                and self.path is not None
+                and self.stream.tell() >= self.max_bytes
+            ):
+                self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path`` -> ``.1`` -> ``.2`` -> ... and reopen (lock held)."""
+        self.stream.close()
+        for index in range(self.backups - 1, 0, -1):
+            older = f"{self.path}.{index}"
+            if os.path.exists(older):
+                os.replace(older, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self.stream = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
 
     def close(self) -> None:
         if self.stream is not None and self.stream not in (sys.stderr, sys.stdout):
@@ -333,6 +384,19 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
     jobs = service.store.jobs()
     recent_jobs = sorted(jobs, key=lambda j: j.created_s, reverse=True)[:recent]
 
+    engine = getattr(service, "slo_engine", None)
+    if engine is not None:
+        alerts = engine.alerts_document()
+        slo_doc: Dict[str, Any] = {
+            "enabled": True,
+            "specs": len(engine.specs),
+            "ticks": alerts.get("ticks", 0),
+            "firing": alerts.get("firing", []),
+            "history": alerts.get("history", [])[-5:],
+        }
+    else:
+        slo_doc = {"enabled": False}
+
     return {
         "now_s": now_s,
         "uptime_s": now_s - service._started_s,
@@ -363,6 +427,7 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
             "dropped_events": service.scheduler.trace_dropped,
         },
         "latency": latency,
+        "slo": slo_doc,
         "jobs": {
             "counts": service.store.counts(),
             "recent": [

@@ -23,9 +23,12 @@
 ``GET /v1/experiments``               registered experiments (+ plannability)
 ``GET /v1/ops``                       one-call operational snapshot
                                       (what ``hiss-top`` renders)
+``GET /v1/alerts``                    the SLO engine's burn-rate verdicts and
+                                      alert history (404 unless ``--slo``)
 ``GET /healthz``                      liveness + drain state
-``GET /metrics``                      MetricsRegistry snapshot (JSON, or flat
-                                      text with ``?format=text``)
+``GET /metrics``                      MetricsRegistry snapshot (JSON, or
+                                      OpenMetrics-style text with
+                                      ``?format=text``)
 ====================================  =========================================
 
 Request handling is thread-per-connection; everything the handlers touch
@@ -49,7 +52,11 @@ from collections import OrderedDict
 
 from ..core import experiment as _experiment
 from ..core.planner import resolve_jobs
-from ..telemetry import MetricsRegistry, render_metrics_text
+from ..telemetry import (
+    METRICS_TEXT_CONTENT_TYPE,
+    MetricsRegistry,
+    render_metrics_text,
+)
 from ..telemetry.spans import clean_trace_id, new_trace_id
 from .admission import AdmissionController, RejectedJob, ServiceGovernor
 from .jobs import DONE, TERMINAL_STATES, BadSpec, JobSpec, JobStore
@@ -93,6 +100,8 @@ class HissService:
         trace: bool = True,
         ops_log: Optional[OpsLog] = None,
         warm_pool: Optional[bool] = None,
+        slos=None,
+        slo_interval_s: float = 5.0,
     ):
         if cache_dir:
             _experiment.configure_disk_cache(cache_dir)
@@ -125,6 +134,17 @@ class HissService:
             ops_log=self.ops_log,
             warm=warm_pool,
         )
+        #: SLO engine (None = disabled, the default; disabled costs the
+        #: request path nothing — no sampling thread, no extra routes'
+        #: state, and served documents are byte-identical to a build
+        #: without the subsystem).
+        self.slo_engine = None
+        if slos:
+            from ..obsd import SloEngine
+
+            self.slo_engine = SloEngine(
+                slos, interval_s=slo_interval_s, ops_log=self.ops_log
+            )
         #: Rejected-round ledger: trace id -> back-off spans accumulated
         #: before admission succeeds (LRU-bounded, lock-protected).
         self._backoff_lock = threading.Lock()
@@ -153,6 +173,8 @@ class HissService:
 
     def start(self) -> "HissService":
         self.scheduler.start()
+        if self.slo_engine is not None:
+            self.slo_engine.start(self)
         self._serve_thread = threading.Thread(
             target=self.httpd.serve_forever, name="hiss-serve", daemon=True
         )
@@ -168,6 +190,10 @@ class HissService:
         """
         self._draining = True
         self.scheduler.stop(drain=drain)
+        if self.slo_engine is not None:
+            # After the drain so the final synchronous tick evaluates
+            # everything this service actually served.
+            self.slo_engine.stop(self)
         self.httpd.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
@@ -334,6 +360,8 @@ class HissService:
         gauges["telemetry.trace.dropped_events"] = float(
             self.scheduler.trace_dropped
         )
+        if self.slo_engine is not None:
+            gauges.update(self.slo_engine.gauges())
         return gauges
 
     def metrics_document(self) -> Dict[str, Any]:
@@ -384,10 +412,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
         payload = text.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
@@ -413,10 +446,21 @@ class _Handler(BaseHTTPRequestHandler):
             query = parse_qs(parsed.query)
             if query.get("format", ["json"])[0] == "text":
                 self._send_text(
-                    200, render_metrics_text(service.metrics, service.gauges())
+                    200,
+                    render_metrics_text(service.metrics, service.gauges()),
+                    content_type=METRICS_TEXT_CONTENT_TYPE,
                 )
             else:
                 self._send_json(200, service.metrics_document())
+        elif path == "/v1/alerts":
+            if service.slo_engine is None:
+                self._send_json(
+                    404,
+                    {"error": "slo-disabled",
+                     "detail": "start the daemon with --slo to enable alerting"},
+                )
+            else:
+                self._send_json(200, service.slo_engine.alerts_document())
         elif path == "/v1/experiments":
             self._send_json(200, service.experiments_document())
         elif path == "/v1/ops":

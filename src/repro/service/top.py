@@ -129,6 +129,24 @@ def render_ops(doc: Dict[str, Any], width: int = 80) -> str:
         f"trace     {'on' if trace.get('enabled') else 'off'}"
         f"  dropped events {trace.get('dropped_events', 0)}"
     )
+    slo = doc.get("slo")
+    if slo and slo.get("enabled"):
+        firing = slo.get("firing") or []
+        verdict = (
+            f"{len(firing)} FIRING: {', '.join(firing)}"
+            if firing
+            else "all objectives met"
+        )
+        lines.append(
+            f"slo       {slo.get('specs', 0)} objective(s)"
+            f"  ticks {slo.get('ticks', 0)}  {verdict}"
+        )
+        for event in (slo.get("history") or [])[-3:]:
+            lines.append(
+                f"  {event.get('state', '?'):<9} {event.get('slo', '?'):<20} "
+                f"burn {event.get('burn_fast', 0.0):.1f}x/"
+                f"{event.get('burn_slow', 0.0):.1f}x  {event.get('detail', '')}"
+            )
     lines.append("")
     lines.append("latency")
     lines.extend(_latency_rows(latency))

@@ -28,6 +28,7 @@ from .tracer import (
     set_active_tracer,
 )
 from .export import (
+    METRICS_TEXT_CONTENT_TYPE,
     chrome_trace_dict,
     render_metrics_text,
     render_timeline,
@@ -49,6 +50,7 @@ from .spans import (
 __all__ = [
     "Counter",
     "Histogram",
+    "METRICS_TEXT_CONTENT_TYPE",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",

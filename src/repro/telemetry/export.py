@@ -22,6 +22,7 @@ from .metrics import MetricsRegistry
 from .tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent, Tracer
 
 __all__ = [
+    "METRICS_TEXT_CONTENT_TYPE",
     "chrome_trace_dict",
     "render_metrics_text",
     "render_timeline",
@@ -31,24 +32,61 @@ __all__ = [
 ]
 
 
+#: Content type the text exposition should be served with (the versioned
+#: Prometheus text format media type).
+METRICS_TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``# HELP`` strings for well-known metric families (prefix-matched).
+_HELP_PREFIXES = (
+    ("service.job.", "serving-tier stage latency"),
+    ("service.jobs.", "job lifecycle counter"),
+    ("service.runs.", "simulation run counter"),
+    ("service.pool.", "warm worker pool statistic"),
+    ("service.queue.", "admission queue state"),
+    ("service.qos.", "service governor state"),
+    ("service.disk_cache.", "content-addressed disk cache statistic"),
+    ("slo.", "SLO engine burn-rate state"),
+    ("telemetry.", "tracer saturation accounting"),
+    ("search.", "autotuner sweep statistic"),
+)
+
+
+def _help_for(name: str) -> str:
+    for prefix, text in _HELP_PREFIXES:
+        if name.startswith(prefix):
+            return text
+    return "repro metric"
+
+
 def render_metrics_text(
     registry: MetricsRegistry, gauges: Optional[Dict[str, float]] = None
 ) -> str:
-    """Flat ``name value`` exposition of a registry (plus caller gauges).
+    """Prometheus/OpenMetrics-style text exposition of a registry.
 
-    One sample per line, histograms expanded into their summary fields
-    (``count``/``mean``/``min``/``max``/``p50``/``p95``/``p99``) — the
-    format the serving daemon's ``/metrics?format=text`` endpoint emits,
-    greppable and scrape-friendly without any client library.
+    Every metric family is announced with ``# HELP``/``# TYPE`` comment
+    lines (``counter`` / ``gauge`` / ``histogram``), followed by the same
+    flat ``name value`` sample lines this exposition has always emitted —
+    histograms expanded into their summary fields (``count``/``mean``/
+    ``min``/``max``/``p50``/``p95``/``p99``).  Comment lines are
+    ignored by line-oriented consumers (``grep``, the CI smoke greps), so
+    existing scrapers keep working unchanged; scrape-aware consumers get
+    the type metadata and the proper ``Content-Type``
+    (:data:`METRICS_TEXT_CONTENT_TYPE`) from the daemon's ``/metrics``.
     """
     lines: List[str] = []
     snapshot = registry.snapshot()
     for name, value in snapshot["counters"].items():
+        lines.append(f"# HELP {name} {_help_for(name)}")
+        lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {value}")
     for name, summary in snapshot["histograms"].items():
+        lines.append(f"# HELP {name} {_help_for(name)}")
+        lines.append(f"# TYPE {name} histogram")
         for stat, value in summary.items():
             lines.append(f"{name}.{stat} {value:g}")
     for name, value in sorted((gauges or {}).items()):
+        lines.append(f"# HELP {name} {_help_for(name)}")
+        lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {value:g}" if isinstance(value, float) else f"{name} {value}")
     return "\n".join(lines) + "\n"
 

@@ -127,6 +127,119 @@ class Histogram:
             cumulative += bucket_count
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
+    def same_shape(self, other: "Histogram") -> bool:
+        """Whether ``other`` has identical bucket edges (mergeable)."""
+        return (
+            len(self._edges) == len(other._edges)
+            and self._edges[0] == other._edges[0]
+            and self._edges[-1] == other._edges[-1]
+        )
+
+    def spawn_empty(self, name: Optional[str] = None) -> "Histogram":
+        """A zeroed histogram sharing this one's bucket edges.
+
+        The rollup store uses this to build windowed histograms without
+        re-deriving the shape parameters; the edge list is shared (it is
+        never mutated after construction).
+        """
+        twin: "Histogram" = Histogram.__new__(Histogram)
+        twin.name = self.name if name is None else name
+        twin._edges = self._edges
+        twin._counts = [0] * len(self._counts)
+        twin.count = 0
+        twin.sum = 0.0
+        twin.min = None
+        twin.max = None
+        return twin
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place; returns ``self``.
+
+        Bucket-wise addition with count/sum/min/max preserved, so
+        ``summary()`` of the merged histogram equals the summary of the
+        combined observation stream at bucket resolution.  Both
+        histograms must share bucket edges (the rollup windowing always
+        merges same-named instruments, which do by construction).
+        """
+        if not self.same_shape(other):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge incompatible shape "
+                f"({len(self._edges)} edges [{self._edges[0]}, {self._edges[-1]}] "
+                f"vs {len(other._edges)} edges "
+                f"[{other._edges[0]}, {other._edges[-1]}])"
+            )
+        for index, bucket_count in enumerate(other._counts):
+            if bucket_count:
+                self._counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def delta(self, baseline: Optional["Histogram"]) -> "Histogram":
+        """The window of observations recorded since ``baseline``.
+
+        ``baseline`` must be an earlier snapshot of this same (cumulative)
+        histogram; the result holds the bucket-wise difference.  Exact
+        min/max of the window are unrecoverable from two cumulative
+        states, so they are left unset and windowed quantiles interpolate
+        purely within buckets.  ``baseline=None`` copies the histogram.
+        """
+        window = self.spawn_empty()
+        if baseline is None:
+            window._counts = list(self._counts)
+            window.count = self.count
+            window.sum = self.sum
+            window.min = self.min
+            window.max = self.max
+            return window
+        if not self.same_shape(baseline):
+            raise ValueError(
+                f"histogram {self.name}: delta against incompatible shape"
+            )
+        for index, bucket_count in enumerate(self._counts):
+            diff = bucket_count - baseline._counts[index]
+            if diff < 0:
+                raise ValueError(
+                    f"histogram {self.name}: baseline is not an earlier "
+                    f"snapshot (bucket {index} shrank)"
+                )
+            window._counts[index] = diff
+        window.count = self.count - baseline.count
+        window.sum = self.sum - baseline.sum
+        return window
+
+    def fraction_over(self, threshold: float) -> float:
+        """Fraction of observations above ``threshold`` (bucket-interpolated).
+
+        The SLO engine's "bad event" estimator: within the bucket that
+        straddles the threshold, observations are assumed uniformly
+        spread, matching :meth:`quantile`'s interpolation, so the two are
+        consistent to bucket resolution.
+        """
+        if self.count == 0:
+            return 0.0
+        over = 0.0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            lower = self._edges[index - 1] if index > 0 else 0.0
+            upper = (
+                self._edges[index]
+                if index < len(self._edges)
+                else (self.max if self.max is not None else self._edges[-1])
+            )
+            if lower >= threshold:
+                over += bucket_count
+            elif upper > threshold:
+                span = upper - lower
+                fraction = (upper - threshold) / span if span > 0 else 0.0
+                over += bucket_count * fraction
+        return min(1.0, over / self.count)
+
     def percentiles(self) -> Dict[str, float]:
         return {
             f"p{p}": self.quantile(p / 100.0) for p in SUMMARY_PERCENTILES

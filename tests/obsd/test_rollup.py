@@ -1,0 +1,143 @@
+"""RollupStore: windowed deltas, deterministic decimation, pure queries."""
+
+import json
+
+import pytest
+
+from repro.obsd import RollupBucket, RollupStore
+from repro.telemetry.metrics import Histogram
+
+
+def _histogram(values, name="service.job.e2e_s"):
+    h = Histogram(name, low=1e-3, high=1e4, growth=1.5)
+    for value in values:
+        h.record(value)
+    return h
+
+
+class TestBucket:
+    def test_merge_adds_counters_and_keeps_later_gauges(self):
+        a = RollupBucket(0.0, 1.0, counters={"x": 2}, gauges={"g": 1.0})
+        b = RollupBucket(1.0, 2.0, counters={"x": 3, "y": 1}, gauges={"g": 7.0})
+        a.merge(b)
+        assert a.counters == {"x": 5, "y": 1}
+        assert a.gauges["g"] == 7.0
+        assert (a.start_s, a.end_s) == (0.0, 2.0)
+
+    def test_merge_combines_histograms_without_mutating_other(self):
+        a = RollupBucket(0.0, 1.0, histograms={"h": _histogram([0.1, 0.2])})
+        b = RollupBucket(1.0, 2.0, histograms={"h": _histogram([0.3])})
+        a.merge(b)
+        assert a.histograms["h"].count == 3
+        assert b.histograms["h"].count == 1  # other untouched
+
+    def test_merge_copies_missing_histograms(self):
+        a = RollupBucket(0.0, 1.0)
+        b = RollupBucket(1.0, 2.0, histograms={"h": _histogram([0.3])})
+        a.merge(b)
+        a.histograms["h"].record(0.5)
+        assert b.histograms["h"].count == 1  # deep copy, not aliased
+
+    def test_total_sums_selected_counters(self):
+        bucket = RollupBucket(0.0, 1.0, counters={"a": 2, "b": 3, "c": 9})
+        assert bucket.total(["a", "b"]) == 5
+        assert bucket.total(["missing"]) == 0
+
+
+class TestSampling:
+    def test_sample_stores_deltas_not_cumulative_values(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        store.sample(1.0, counters={"jobs": 5})
+        bucket = store.sample(2.0, counters={"jobs": 8})
+        assert store.buckets[0].counters == {"jobs": 5}
+        assert bucket.counters == {"jobs": 3}
+
+    def test_first_bucket_starts_one_interval_before_the_sample(self):
+        store = RollupStore(interval_s=2.0, capacity=16)
+        bucket = store.sample(10.0)
+        assert (bucket.start_s, bucket.end_s) == (8.0, 10.0)
+
+    def test_histogram_windows_hold_only_new_observations(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        h = _histogram([0.1, 0.2])
+        store.sample(1.0, histograms={"h": h})
+        h.record(0.4)
+        h.record(0.5)
+        bucket = store.sample(2.0, histograms={"h": h})
+        assert store.buckets[0].histograms["h"].count == 2
+        assert bucket.histograms["h"].count == 2
+        # Quiet window -> no histogram entry at all.
+        empty = store.sample(3.0, histograms={"h": h})
+        assert "h" not in empty.histograms
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RollupStore(interval_s=0.0)
+        with pytest.raises(ValueError):
+            RollupStore(capacity=8)
+        with pytest.raises(ValueError):
+            RollupStore(capacity=17)
+
+
+class TestDecimation:
+    def test_ring_overflow_halves_buckets_and_doubles_interval(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        for t in range(1, 17):
+            store.sample(float(t), counters={"jobs": t})
+        assert len(store) == 8
+        assert store.interval_s == 2.0
+        assert store.decimations == 1
+        # Nothing lost: total increments survive the pair-merge.
+        assert sum(b.counters.get("jobs", 0) for b in store.buckets) == 16
+
+    def test_decimation_is_deterministic_in_sample_count(self):
+        def build():
+            store = RollupStore(interval_s=1.0, capacity=16)
+            h = _histogram([])
+            for t in range(1, 40):
+                h.record(0.1 * (1 + t % 3))
+                store.sample(float(t), counters={"jobs": t},
+                             histograms={"h": h})
+            return store
+
+        a, b = build(), build()
+        assert json.dumps(a.as_dict(), sort_keys=True) == json.dumps(
+            b.as_dict(), sort_keys=True
+        )
+
+
+class TestWindowQueries:
+    def test_window_defaults_to_newest_bucket_end_not_wall_clock(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        for t in range(1, 6):
+            store.sample(float(t), counters={"jobs": t})
+        window = store.window(2.0)
+        assert (window.start_s, window.end_s) == (3.0, 5.0)
+        # Buckets (3,4] and (4,5] each hold a delta of 1.
+        assert window.counters["jobs"] == 2
+
+    def test_window_is_pure_and_leaves_store_unchanged(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        h = _histogram([])
+        for t in range(1, 6):
+            h.record(0.2)
+            store.sample(float(t), counters={"jobs": 1}, histograms={"h": h})
+        before = json.dumps(store.as_dict(), sort_keys=True)
+        first = store.window(3.0)
+        second = store.window(3.0)
+        assert json.dumps(store.as_dict(), sort_keys=True) == before
+        assert first.counters == second.counters
+        assert first.histograms["h"].count == second.histograms["h"].count == 3
+
+    def test_window_with_explicit_end_replays_the_past(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        for t in range(1, 11):
+            store.sample(float(t), counters={"jobs": t})
+        past = store.window(3.0, end_s=5.0)
+        assert past.counters["jobs"] == 3
+
+    def test_empty_store_window_is_empty(self):
+        store = RollupStore(interval_s=1.0, capacity=16)
+        window = store.window(60.0)
+        assert window.counters == {}
+        assert store.end_s is None

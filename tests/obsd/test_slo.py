@@ -1,0 +1,201 @@
+"""SloSpec validation, burn-rate evaluation, and spec-document round-trips."""
+
+import json
+
+import pytest
+
+from repro.obsd import (
+    DEFAULT_SLOS,
+    SLO_SCHEMA,
+    SloSpec,
+    evaluate_slos,
+    parse_slo_document,
+    slo_document,
+    validate_slo_document,
+)
+from repro.obsd.rollup import RollupStore
+from repro.telemetry.metrics import Histogram
+
+E2E = "service.job.e2e_s"
+
+
+def _store_with(e2e_values=(), counters=None, seconds=10):
+    """A store whose single-interval buckets carry the given activity."""
+    store = RollupStore(interval_s=1.0, capacity=16)
+    h = Histogram(E2E, low=1e-3, high=1e4, growth=1.5)
+    cumulative = dict.fromkeys(counters or {}, 0)
+    per_tick = counters or {}
+    values = list(e2e_values)
+    for t in range(1, seconds + 1):
+        if values:
+            h.record(values.pop(0))
+        for name, step in per_tick.items():
+            cumulative[name] += step
+        store.sample(float(t), counters=dict(cumulative), histograms={E2E: h})
+    return store
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            SloSpec(name="x", kind="weird")
+
+    def test_latency_needs_metric_and_positive_threshold(self):
+        with pytest.raises(ValueError, match="metric"):
+            SloSpec(name="x", kind="latency", threshold_s=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            SloSpec(name="x", kind="latency", metric="e2e_s", threshold_s=0.0)
+        with pytest.raises(ValueError, match="percentile"):
+            SloSpec(name="x", kind="latency", metric="e2e_s",
+                    threshold_s=1.0, percentile=100)
+
+    def test_latency_objective_implied_by_percentile(self):
+        spec = SloSpec(name="x", kind="latency", metric="e2e_s",
+                       threshold_s=1.0, percentile=95)
+        assert spec.objective == 0.95
+        assert spec.budget == pytest.approx(0.05)
+
+    def test_availability_needs_good_and_bad(self):
+        with pytest.raises(ValueError, match="good"):
+            SloSpec(name="x", kind="availability")
+
+    def test_ratio_needs_numerator_and_denominator(self):
+        with pytest.raises(ValueError, match="denominator"):
+            SloSpec(name="x", kind="ratio", metric="pool.warm_hits")
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError, match="fast_window_s"):
+            SloSpec(name="x", kind="availability", good=("g",), bad=("b",),
+                    fast_window_s=600, slow_window_s=300)
+
+
+class TestLatencyEvaluation:
+    def test_all_fast_requests_do_not_burn(self):
+        store = _store_with(e2e_values=[0.1] * 10)
+        spec = SloSpec(name="e2e", kind="latency", metric="e2e_s",
+                       percentile=99, threshold_s=1.0,
+                       fast_window_s=5, slow_window_s=10)
+        row = spec.evaluate(store)
+        assert not row["firing"]
+        assert row["windows"]["slow"]["bad"] == 0.0
+
+    def test_tail_regression_fires_both_windows(self):
+        store = _store_with(e2e_values=[0.1] * 5 + [50.0] * 5)
+        spec = SloSpec(name="e2e", kind="latency", metric="e2e_s",
+                       percentile=99, threshold_s=1.0,
+                       fast_window_s=5, slow_window_s=10)
+        row = spec.evaluate(store)
+        assert row["firing"]
+        assert row["windows"]["fast"]["burn"] >= spec.burn_factor
+        assert row["windows"]["slow"]["burn"] >= spec.burn_factor
+
+    def test_old_regression_does_not_fire_the_fast_window(self):
+        # Slow values only in the first half: the slow window still burns
+        # but the fast window is clean, so the rule must NOT fire.
+        store = _store_with(e2e_values=[50.0] * 5 + [0.1] * 5)
+        spec = SloSpec(name="e2e", kind="latency", metric="e2e_s",
+                       percentile=99, threshold_s=1.0,
+                       fast_window_s=3, slow_window_s=10)
+        row = spec.evaluate(store)
+        assert row["windows"]["slow"]["burn"] >= spec.burn_factor
+        assert row["windows"]["fast"]["burn"] < spec.burn_factor
+        assert not row["firing"]
+
+    def test_empty_window_never_fires(self):
+        store = _store_with(e2e_values=[])
+        spec = SloSpec(name="e2e", kind="latency", metric="e2e_s",
+                       percentile=99, threshold_s=1.0,
+                       fast_window_s=5, slow_window_s=10)
+        row = spec.evaluate(store)
+        assert row["windows"]["fast"]["total"] == 0.0
+        assert not row["firing"]
+
+
+class TestAvailabilityAndRatio:
+    def test_availability_counts_bad_over_good_plus_bad(self):
+        store = _store_with(counters={"ok": 9, "err": 1}, seconds=10)
+        spec = SloSpec(name="avail", kind="availability", objective=0.999,
+                       good=("ok",), bad=("err",),
+                       fast_window_s=5, slow_window_s=10)
+        row = spec.evaluate(store)
+        fast = row["windows"]["fast"]
+        assert fast["total"] == 50.0  # 5 ticks x (9 good + 1 bad)
+        assert fast["bad"] == 5.0
+        assert fast["burn"] == pytest.approx(100.0)
+        assert row["firing"]
+
+    def test_ratio_counts_denominator_shortfall(self):
+        store = _store_with(
+            counters={"pool.warm_hits": 3, "pool.tasks": 10}, seconds=10
+        )
+        spec = SloSpec(name="warm", kind="ratio", metric="pool.warm_hits",
+                       denominator="pool.tasks", objective=0.5,
+                       burn_factor=1.2, fast_window_s=5, slow_window_s=10)
+        row = spec.evaluate(store)
+        fast = row["windows"]["fast"]
+        assert fast["total"] == 50.0
+        assert fast["bad"] == 35.0  # 50 tasks - 15 warm hits
+        assert fast["bad_fraction"] == pytest.approx(0.7)
+        assert row["firing"]  # 0.7 / 0.5 budget = 1.4x >= 1.2x
+
+
+class TestEvaluateSlos:
+    def test_report_shape_and_firing_list(self):
+        store = _store_with(e2e_values=[50.0] * 10)
+        specs = [
+            SloSpec(name="tight", kind="latency", metric="e2e_s",
+                    percentile=99, threshold_s=1.0,
+                    fast_window_s=5, slow_window_s=10),
+            SloSpec(name="loose", kind="latency", metric="e2e_s",
+                    percentile=99, threshold_s=100.0,
+                    fast_window_s=5, slow_window_s=10),
+        ]
+        report = evaluate_slos(specs, store)
+        assert report["schema"] == "hiss.alerts/1"
+        assert report["firing"] == ["tight"]
+        assert report["at_s"] == store.end_s  # capture time, not wall time
+
+    def test_evaluation_is_deterministic(self):
+        store = _store_with(e2e_values=[0.1, 5.0] * 5)
+        renders = {
+            json.dumps(evaluate_slos(DEFAULT_SLOS, store), sort_keys=True)
+            for _ in range(3)
+        }
+        assert len(renders) == 1
+
+
+class TestSpecDocuments:
+    def test_default_slos_round_trip(self):
+        doc = slo_document(DEFAULT_SLOS)
+        assert doc["schema"] == SLO_SCHEMA
+        assert validate_slo_document(doc) == []
+        parsed = parse_slo_document(doc)
+        assert [s.as_dict() for s in parsed] == [s.as_dict() for s in DEFAULT_SLOS]
+
+    def test_unknown_field_and_duplicate_name_reported(self):
+        doc = {
+            "schema": SLO_SCHEMA,
+            "slos": [
+                {"name": "a", "kind": "latency", "metric": "e2e_s",
+                 "threshold_s": 1.0, "percentile": 99, "bogus": 1},
+                {"name": "a", "kind": "availability", "objective": 0.99,
+                 "good": ["ok"], "bad": ["err"]},
+            ],
+        }
+        problems = validate_slo_document(doc)
+        assert any("bogus" in p for p in problems)
+        assert any("duplicate" in p for p in problems)
+
+    def test_bad_schema_and_shape_reported(self):
+        assert validate_slo_document([]) != []
+        assert any(
+            "schema" in p for p in validate_slo_document({"slos": [{}]})
+        )
+        assert any(
+            "slos" in p
+            for p in validate_slo_document({"schema": SLO_SCHEMA})
+        )
+
+    def test_parse_raises_on_invalid(self):
+        with pytest.raises(ValueError):
+            parse_slo_document({"schema": SLO_SCHEMA, "slos": [{"kind": "nope"}]})

@@ -110,3 +110,49 @@ class TestTextTimelines:
     def test_render_timeline_limit(self, small_tracer):
         text = render_timeline(small_tracer, 0, limit=1)
         assert len(text.splitlines()) == 2
+
+
+class TestMetricsText:
+    def _registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("service.jobs.completed").inc(3)
+        registry.histogram("service.job.e2e_s").record(1.5)
+        return registry
+
+    def test_families_announced_with_help_and_type(self):
+        from repro.telemetry.export import render_metrics_text
+
+        text = render_metrics_text(
+            self._registry(), gauges={"queue.depth": 2.0}
+        )
+        lines = text.splitlines()
+        assert "# TYPE service.jobs.completed counter" in lines
+        assert "# TYPE service.job.e2e_s histogram" in lines
+        assert "# TYPE queue.depth gauge" in lines
+        for line in lines:
+            if line.startswith("# HELP"):
+                assert len(line.split(" ", 3)) == 4  # name + help text
+
+    def test_legacy_flat_sample_lines_preserved(self):
+        from repro.telemetry.export import render_metrics_text
+
+        text = render_metrics_text(
+            self._registry(), gauges={"queue.depth": 2.0}
+        )
+        samples = [l for l in text.splitlines() if not l.startswith("#")]
+        assert "service.jobs.completed 3" in samples
+        assert "queue.depth 2" in samples
+        assert any(l.startswith("service.job.e2e_s.count ") for l in samples)
+        assert any(l.startswith("service.job.e2e_s.p99 ") for l in samples)
+        # grep-style consumers see exactly one sample line per family
+        # member, each "name value" shaped.
+        for line in samples:
+            name, value = line.split(" ")
+            float(value)
+
+    def test_content_type_constant_is_openmetrics(self):
+        from repro.telemetry.export import METRICS_TEXT_CONTENT_TYPE
+
+        assert METRICS_TEXT_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -124,3 +124,88 @@ class TestRegistry:
         assert snapshot["counters"] == {"events": 3}
         assert snapshot["histograms"]["lat"]["count"] == 1
         json.dumps(snapshot)  # must not raise
+
+
+class TestHistogramMerge:
+    def test_merge_equals_combined_observation_stream(self):
+        left_values = [0.5, 2.0, 8.0, 40.0]
+        right_values = [1.0, 1.5, 100.0]
+        left, right, combined = Histogram("h"), Histogram("h"), Histogram("h")
+        for value in left_values:
+            left.record(value)
+        for value in right_values:
+            right.record(value)
+        for value in left_values + right_values:
+            combined.record(value)
+        merged = left.merge(right)
+        assert merged is left  # in place, chainable
+        assert merged.summary() == combined.summary()
+
+    def test_merge_preserves_exact_min_max_and_sum(self):
+        left, right = Histogram("h"), Histogram("h")
+        left.record(5.0)
+        right.record(0.25)
+        right.record(900.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.min == 0.25
+        assert left.max == 900.0
+        assert left.sum == pytest.approx(905.25)
+
+    def test_merge_with_empty_is_identity(self):
+        left = Histogram("h")
+        left.record(3.0)
+        before = left.summary()
+        left.merge(left.spawn_empty())
+        assert left.summary() == before
+
+    def test_merge_rejects_incompatible_shapes(self):
+        left = Histogram("h", low=1e-3, high=1e4, growth=1.5)
+        other = Histogram("h", low=1e-2, high=1e3, growth=2.0)
+        assert not left.same_shape(other)
+        with pytest.raises(ValueError, match="incompatible shape"):
+            left.merge(other)
+
+    def test_merge_does_not_mutate_the_other_histogram(self):
+        left, right = Histogram("h"), Histogram("h")
+        left.record(1.0)
+        right.record(2.0)
+        left.merge(right)
+        assert right.count == 1
+        assert right.summary()["count"] == 1
+
+
+class TestWindowingHelpers:
+    def test_delta_recovers_the_window_between_snapshots(self):
+        cumulative = Histogram("h")
+        cumulative.record(1.0)
+        baseline = cumulative.delta(None)  # copy = snapshot
+        cumulative.record(10.0)
+        cumulative.record(20.0)
+        window = cumulative.delta(baseline)
+        assert window.count == 2
+        assert window.sum == pytest.approx(30.0)
+
+    def test_delta_none_is_a_deep_copy(self):
+        cumulative = Histogram("h")
+        cumulative.record(1.0)
+        copy = cumulative.delta(None)
+        cumulative.record(2.0)
+        assert copy.count == 1
+
+    def test_delta_rejects_a_later_baseline(self):
+        early = Histogram("h")
+        late = Histogram("h")
+        late.record(1.0)
+        with pytest.raises(ValueError, match="earlier"):
+            early.delta(late)
+
+    def test_fraction_over_matches_quantiles_at_bucket_resolution(self):
+        # The serving tier's stage-latency shape, so thresholds sit well
+        # inside the bucketed range.
+        histogram = Histogram("h", low=1e-3, high=1e4, growth=1.5)
+        for value in [0.1] * 90 + [50.0] * 10:
+            histogram.record(value)
+        assert histogram.fraction_over(1.0) == pytest.approx(0.1, abs=0.02)
+        assert histogram.fraction_over(1e5) == 0.0
+        assert Histogram("h").fraction_over(1.0) == 0.0
