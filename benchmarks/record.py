@@ -165,6 +165,50 @@ def record_pool_probe(client, figure: str, args) -> dict:
     return doc
 
 
+def record_flight_overhead(events: int = 20_000) -> dict:
+    """Time the ops-log hot path with the flight recorder off, then on.
+
+    Both passes push the same synthetic event stream through an
+    ``OpsLog`` with no stream attached — the disabled pass is the
+    daemon's default (one attribute check per record and out), the
+    enabled pass tees every record into a :class:`FlightRecorder` ring
+    with the standard trigger set (no SLO alerts fire, so this is pure
+    observe/append cost).  The delta is the number
+    docs/observability.md quotes as the recorder's always-on overhead.
+    """
+    from repro.flight import FlightRecorder, default_triggers
+    from repro.service.obs import OpsLog
+
+    log = OpsLog(None)
+    start = time.perf_counter()
+    for index in range(events):
+        log.log("job.started", job=f"job-{index:06d}", batch_jobs=4)
+    off_s = time.perf_counter() - start
+
+    recorder = FlightRecorder(store=None, triggers=default_triggers())
+    log.tee = recorder.observe
+    start = time.perf_counter()
+    for index in range(events):
+        log.log("job.started", job=f"job-{index:06d}", batch_jobs=4)
+    on_s = time.perf_counter() - start
+    log.tee = None
+
+    doc = {
+        "events": events,
+        "recorder_off_ns_per_event": round(off_s / events * 1e9, 1),
+        "recorder_on_ns_per_event": round(on_s / events * 1e9, 1),
+        "ring_entries": len(recorder.ring),
+        "ring_decimations": recorder.ring.decimations,
+    }
+    print(
+        f"flight overhead ({events} events): off "
+        f"{doc['recorder_off_ns_per_event']:.0f}ns/event, on "
+        f"{doc['recorder_on_ns_per_event']:.0f}ns/event "
+        f"({recorder.ring.decimations} decimations)"
+    )
+    return doc
+
+
 def record_sweep(args) -> dict:
     """Cold-vs-warm autotuner sweep pair: evaluations/sec and cache traffic.
 
@@ -397,6 +441,7 @@ def main(argv=None) -> int:
         snapshot["profile_overhead"] = record_profile_overhead(
             args.profile_figure, kwargs_for
         )
+        snapshot["flight_overhead"] = record_flight_overhead()
 
     if args.sweep:
         snapshot["sweep"] = record_sweep(args)

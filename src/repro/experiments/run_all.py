@@ -127,6 +127,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Reproduce the figures/tables of 'Interference from GPU "
         "System Service Requests' (IISWC 2018) on the simulator.",
     )
+    from ..version import add_version_flag
+
+    add_version_flag(parser)
     parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig3a)")
     parser.add_argument("--all", action="store_true", help="run every paper experiment")
     parser.add_argument(

@@ -1,0 +1,75 @@
+"""Flight recorder + triggered postmortem capture.
+
+The serving tier can *detect* trouble (burn-rate alerts) and *explain
+steady-state blame* (the interference profiler), but SSR interference is
+bursty: by the time an operator looks, the moments around an alert or a
+worker crash are gone — averaged into rollups that were decimated while
+nobody watched.  This package is the black box: an always-on bounded
+ring of recent diagnostics, trigger predicates that watch the ops event
+stream, and — when one fires — a self-contained ``hiss.postmortem/1``
+bundle written atomically next to the ops log.
+
+Layout:
+
+* :mod:`~repro.flight.ring` — :class:`FlightRing`, the bounded
+  deterministic diagnostics ring (pair-merge decimation, mirroring
+  :class:`repro.obsd.rollup.RollupStore`)
+* :mod:`~repro.flight.triggers` — :class:`TriggerSpec` predicates with
+  per-trigger debounce and hourly rate limits
+* :mod:`~repro.flight.bundle` — the ``hiss.postmortem/1`` document,
+  validation, and the atomic keep-N :class:`PostmortemStore`
+* :mod:`~repro.flight.recorder` — :class:`FlightRecorder`, the live
+  half: tees off the ops log, evaluates triggers, captures bundles
+* :mod:`~repro.flight.report` — deterministic text + single-file HTML
+  rendering (inline timeline SVG)
+* :mod:`~repro.flight.cli` — the ``hiss-postmortem`` console script
+
+Disabled (the default) the subsystem is a ``None`` attribute on the
+service and a skipped tee check in :class:`repro.service.obs.OpsLog` —
+served results are byte-for-byte what a build without it produces.
+"""
+
+from .bundle import (
+    POSTMORTEM_SCHEMA,
+    PostmortemStore,
+    blame_top_k,
+    build_postmortem,
+    list_bundles,
+    postmortem_id,
+    validate_postmortem,
+)
+from .recorder import FlightRecorder
+from .ring import FlightEntry, FlightRing
+from .triggers import (
+    KIND_JOB_LATENCY,
+    KIND_LEDGER_INVARIANT,
+    KIND_MANUAL,
+    KIND_SLO_ALERT,
+    KIND_WORKER_CRASH,
+    TRIGGER_KINDS,
+    TriggerSpec,
+    TriggerState,
+    default_triggers,
+)
+
+__all__ = [
+    "FlightEntry",
+    "FlightRecorder",
+    "FlightRing",
+    "KIND_JOB_LATENCY",
+    "KIND_LEDGER_INVARIANT",
+    "KIND_MANUAL",
+    "KIND_SLO_ALERT",
+    "KIND_WORKER_CRASH",
+    "POSTMORTEM_SCHEMA",
+    "PostmortemStore",
+    "TRIGGER_KINDS",
+    "TriggerSpec",
+    "TriggerState",
+    "blame_top_k",
+    "build_postmortem",
+    "default_triggers",
+    "list_bundles",
+    "postmortem_id",
+    "validate_postmortem",
+]

@@ -27,6 +27,7 @@ import os
 import sys
 from typing import Any, Dict, List, Optional
 
+from ..version import add_version_flag
 from .replay import DEFAULT_REPLAY_INTERVAL_S, replay_ops_log
 from .report import (
     diff_text,
@@ -169,6 +170,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="hiss-slo",
         description="Evaluate serving-tier SLOs and diff job traces.",
     )
+    add_version_flag(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     evaluate = sub.add_parser(

@@ -168,6 +168,17 @@ class SloEngine:
             report["history"] = [event.as_dict() for event in self._history]
             return report
 
+    def rollup_window(self, seconds: float = 300.0) -> Dict[str, Any]:
+        """One merged rollup bucket covering the trailing window.
+
+        Ends at the newest bucket, not the wall clock, so a window taken
+        at capture time re-renders identically from a saved postmortem.
+        """
+        with self._lock:
+            if not len(self.store):
+                return {}
+            return self.store.window(seconds).as_dict()
+
     def gauges(self) -> Dict[str, float]:
         """``slo.*`` gauges merged into the service's ``/metrics``."""
         with self._lock:

@@ -21,6 +21,7 @@ import os
 import sys
 from typing import Any
 
+from ..version import add_version_flag
 from .flamegraph import write_collapsed
 from .profiler import profile_runs, validate_profile
 from .report import text_summary, write_html
@@ -85,6 +86,7 @@ def main(argv=None) -> int:
         prog="hiss-report",
         description="Render and inspect HISS interference-attribution profiles.",
     )
+    add_version_flag(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     render = sub.add_parser("render", help="write the self-contained HTML report")

@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from ..core import configure_disk_cache
+from ..version import add_version_flag
 from ..telemetry import MetricsRegistry, SpanRecorder, render_metrics_text, trace_document
 from .driver import (
     ARCHIVE_SUFFIX,
@@ -98,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="hiss-sweep",
         description="Adaptive Pareto autotuner over mitigation & QoS knobs.",
     )
+    add_version_flag(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, help_text in (

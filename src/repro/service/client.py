@@ -15,6 +15,8 @@ CLI::
     hiss-client trace job-000001-abcdef0123 [--chrome]
     hiss-client profile job-000001-abcdef0123 [-o profile.json]
     hiss-client experiments | jobs | health | metrics [--text] | ops | alerts
+    hiss-client postmortems
+    hiss-client postmortem pm-000001-slo_alert [-o pm.json]
 
 ``submit --profile`` asks the daemon to attribute every run's SSR
 interference; fetch the bundle with ``profile`` and render it locally
@@ -203,6 +205,32 @@ class ServiceClient:
         with ``--slo``; render with ``hiss-slo alerts``)."""
         return self._get("/v1/alerts")
 
+    def postmortems(self) -> Dict[str, Any]:
+        """The flight recorder's ``/v1/postmortems`` index (daemon must
+        run with ``--postmortem-dir``)."""
+        return self._get("/v1/postmortems")
+
+    def postmortem(self, pm_id: str) -> Dict[str, Any]:
+        """One stored postmortem bundle (``hiss.postmortem/1``; render
+        with ``hiss-postmortem render``)."""
+        return self._get(f"/v1/postmortems/{pm_id}")
+
+    def trigger_postmortem(
+        self, reason: str = "operator request", jobs: Optional[List[str]] = None
+    ) -> Dict[str, Any]:
+        """Capture a bundle on demand (``POST /v1/postmortems/trigger``).
+
+        Raises :class:`ServiceRejected` when the manual trigger is over
+        its hourly rate cap.
+        """
+        body: Dict[str, Any] = {"reason": reason}
+        if jobs:
+            body["jobs"] = list(jobs)
+        _status, _headers, parsed = self._request(
+            "POST", "/v1/postmortems/trigger", body
+        )
+        return parsed
+
     def wait(
         self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.2
     ) -> Dict[str, Any]:
@@ -250,9 +278,12 @@ def _print_json(doc: Any) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from ..version import add_version_flag
+
     parser = argparse.ArgumentParser(
         prog="hiss-client", description="Talk to a hiss-serve simulation daemon."
     )
+    add_version_flag(parser)
     parser.add_argument("--url", default=DEFAULT_URL, help=f"server URL (default {DEFAULT_URL})")
     parser.add_argument("--timeout", type=float, default=30.0, help="per-request timeout (s)")
     commands = parser.add_subparsers(dest="command", required=True)
@@ -306,6 +337,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands.add_parser("health", help="print /healthz")
     commands.add_parser("ops", help="print the /v1/ops snapshot")
     commands.add_parser("alerts", help="print the /v1/alerts SLO document")
+    commands.add_parser("postmortems", help="list the daemon's postmortem bundles")
+    postmortem = commands.add_parser(
+        "postmortem", help="fetch one postmortem bundle"
+    )
+    postmortem.add_argument("pm_id", help="bundle id (see 'postmortems')")
+    postmortem.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the bundle to FILE instead of stdout (then: "
+        "hiss-postmortem render FILE -o report.html)",
+    )
     metrics = commands.add_parser("metrics", help="print /metrics")
     metrics.add_argument("--text", action="store_true", help="flat text exposition")
 
@@ -356,6 +397,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_json(client.ops())
         elif args.command == "alerts":
             _print_json(client.alerts())
+        elif args.command == "postmortems":
+            _print_json(client.postmortems())
+        elif args.command == "postmortem":
+            bundle = client.postmortem(args.pm_id)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    json.dump(bundle, handle)
+                ring = (bundle.get("flight_ring") or {}).get("entries") or []
+                print(
+                    f"wrote {args.output} ({len(ring)} ring entries; render "
+                    f"with 'hiss-postmortem render {args.output} -o report.html')"
+                )
+            else:
+                _print_json(bundle)
         elif args.command == "wait":
             doc = client.wait(args.job_id, timeout_s=args.wait_timeout)
             _print_json(doc)

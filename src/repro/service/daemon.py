@@ -5,6 +5,7 @@ Usage::
     hiss-serve --port 8171 --jobs 0 --cache-dir run-cache
     hiss-serve --qos-threshold 0.5 --queue-limit 32 --verbose
     hiss-serve --log-json ops.jsonl        # structured JSONL ops events
+    hiss-serve --slo default --postmortem-dir pm   # auto-capture bundles
 
 The process serves until SIGINT/SIGTERM, then drains: submissions get
 503, queued and in-flight jobs finish (their results stay fetchable for
@@ -21,6 +22,7 @@ import sys
 import threading
 from typing import List, Optional
 
+from ..version import add_version_flag
 from .obs import OpsLog
 from .server import HissService
 
@@ -32,6 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hiss-serve",
         description="Serve HISS simulation jobs over an HTTP JSON API.",
     )
+    add_version_flag(parser)
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=8171, help="bind port (0 = ephemeral)")
     parser.add_argument(
@@ -89,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--slo-interval", type=float, default=5.0, metavar="SECONDS",
         help="SLO engine sampling cadence (default 5s)",
+    )
+    parser.add_argument(
+        "--postmortem-dir", default=None, metavar="DIR",
+        help="enable the flight recorder: auto-capture postmortem bundles "
+        "into DIR on SLO alerts, worker crashes, and invariant violations "
+        "(see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--postmortem-keep", type=int, default=20, metavar="N",
+        help="retain at most N bundles in --postmortem-dir, evicting the "
+        "oldest (default 20)",
+    )
+    parser.add_argument(
+        "--postmortem-e2e-threshold", type=float, default=None,
+        metavar="SECONDS",
+        help="also capture a postmortem when a job's end-to-end latency "
+        "exceeds SECONDS (off by default)",
     )
     parser.add_argument(
         "--no-trace", action="store_true",
@@ -158,6 +178,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         warm_pool=False if args.cold_pool else None,
         slos=slos,
         slo_interval_s=args.slo_interval,
+        postmortem_dir=args.postmortem_dir,
+        postmortem_keep=args.postmortem_keep,
+        postmortem_e2e_threshold_s=args.postmortem_e2e_threshold,
     )
     shutdown = threading.Event()
 

@@ -68,6 +68,14 @@ class OpsLog:
     and a fresh file is opened.  The check-and-rename happens under the
     same lock as every write, after a complete line + flush, so neither
     the live file nor any backup ever holds a torn JSON line.
+
+    ``tee`` (when set) receives every record as a dict, *before* the
+    write and regardless of whether a stream is attached — it is how the
+    flight recorder (:mod:`repro.flight`) observes the event stream even
+    on daemons that log nowhere.  The tee is called outside the write
+    lock (it must be thread-safe on its own) so a slow consumer can
+    never hold up rotation, and a rotation can never tear what the tee
+    saw: the tee gets whole records, the file gets whole lines.
     """
 
     def __init__(
@@ -85,6 +93,8 @@ class OpsLog:
         self.path = path
         self.max_bytes = max_bytes
         self.backups = backups
+        #: Observer called with every record dict (None = no observer).
+        self.tee = None
         self._lock = threading.Lock()
         self.lines = 0
         self.rotations = 0
@@ -115,12 +125,17 @@ class OpsLog:
         )
 
     def log(self, event: str, **fields: Any) -> None:
-        if self.stream is None:
+        tee = self.tee
+        if self.stream is None and tee is None:
             return
         record: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
+        if tee is not None:
+            tee(record)
+        if self.stream is None:
+            return
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
             self.stream.write(line + "\n")
@@ -377,9 +392,14 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
     counters = service.metrics.counters
     executed = counters.get("service.runs.executed")
     cache_hits = counters.get("service.runs.cache_hits")
+    runs_failed = counters.get("service.runs.failed")
     executed_n = executed.value if executed else 0
     cache_hits_n = cache_hits.value if cache_hits else 0
     runs_seen = executed_n + cache_hits_n
+    # Failed runs ride the pool section: the crash trigger's console
+    # cross-check lives next to the crashed-worker counter it confirms.
+    pool_doc = dict(shared_pool_stats())
+    pool_doc["runs_failed"] = runs_failed.value if runs_failed else 0
 
     jobs = service.store.jobs()
     recent_jobs = sorted(jobs, key=lambda j: j.created_s, reverse=True)[:recent]
@@ -396,6 +416,11 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
         }
     else:
         slo_doc = {"enabled": False}
+
+    flight = getattr(service, "flight", None)
+    postmortems_doc = (
+        flight.document() if flight is not None else {"enabled": False}
+    )
 
     return {
         "now_s": now_s,
@@ -414,7 +439,7 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
             "resolved_workers": resolve_jobs(service.scheduler.jobs),
             "utilization": governor.get("fraction", 0.0),
         },
-        "pool": shared_pool_stats(),
+        "pool": pool_doc,
         "cache": {
             "memory_runs": len(_experiment._CACHE),
             "run_hit_rate": (cache_hits_n / runs_seen) if runs_seen else 0.0,
@@ -428,6 +453,7 @@ def ops_document(service, recent: int = 10) -> Dict[str, Any]:
         },
         "latency": latency,
         "slo": slo_doc,
+        "postmortems": postmortems_doc,
         "jobs": {
             "counts": service.store.counts(),
             "recent": [

@@ -104,6 +104,7 @@ class JobScheduler:
         trace_events_per_run: int = 4000,
         ops_log: Optional[OpsLog] = None,
         warm: Optional[bool] = None,
+        flight=None,
     ):
         self.store = store
         self.admission = admission
@@ -126,6 +127,9 @@ class JobScheduler:
         #: In-sim events dropped by worker rings or the per-run cap.
         self.trace_dropped = 0
         self.ops_log = ops_log if ops_log is not None else OpsLog(None)
+        #: Flight recorder; when set, each executed run's event tail and
+        #: sampler rows land in the diagnostics ring for postmortems.
+        self.flight = flight
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._drain = True
@@ -386,6 +390,8 @@ class JobScheduler:
                 job.sim_runs.append(run_doc)
                 if profile_doc is not None and job.spec.profile:
                     job.profiles.append(profile_doc)
+            if self.flight is not None:
+                self.flight.note_run(info, serialized, profile_doc)
             self.ops_log.log(
                 "run.executed", run=info.get("run"),
                 traces=info.get("trace_ids"), worker_pid=info.get("worker_pid"),

@@ -25,6 +25,11 @@
                                       (what ``hiss-top`` renders)
 ``GET /v1/alerts``                    the SLO engine's burn-rate verdicts and
                                       alert history (404 unless ``--slo``)
+``GET /v1/postmortems``               stored postmortem bundles + recorder
+                                      status (404 unless ``--postmortem-dir``)
+``GET /v1/postmortems/<id>``          one full ``hiss.postmortem/1`` bundle
+``POST /v1/postmortems/trigger``      capture a bundle now (manual trigger;
+                                      rate-limited)
 ``GET /healthz``                      liveness + drain state
 ``GET /metrics``                      MetricsRegistry snapshot (JSON, or
                                       OpenMetrics-style text with
@@ -102,6 +107,11 @@ class HissService:
         warm_pool: Optional[bool] = None,
         slos=None,
         slo_interval_s: float = 5.0,
+        postmortem_dir: Optional[str] = None,
+        postmortem_keep: int = 20,
+        postmortem_e2e_threshold_s: Optional[float] = None,
+        flight_triggers=None,
+        flight_capacity: int = 512,
     ):
         if cache_dir:
             _experiment.configure_disk_cache(cache_dir)
@@ -112,6 +122,27 @@ class HissService:
         self.trace_enabled = trace
         self.ops_log = ops_log if ops_log is not None else OpsLog(None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Flight recorder (None = disabled, the default; disabled costs
+        #: nothing — no ring, no ops-log tee, no extra routes' state —
+        #: and served documents are byte-identical to a build without
+        #: the subsystem).
+        self.flight = None
+        if postmortem_dir:
+            from ..flight import FlightRecorder, PostmortemStore, default_triggers
+
+            triggers = (
+                flight_triggers
+                if flight_triggers is not None
+                else default_triggers(e2e_threshold_s=postmortem_e2e_threshold_s)
+            )
+            self.flight = FlightRecorder(
+                store=PostmortemStore(postmortem_dir, keep=postmortem_keep),
+                triggers=triggers,
+                ring_capacity=flight_capacity,
+                metrics=self.metrics,
+                ops_log=self.ops_log,
+            )
+            self.ops_log.tee = self.flight.observe
         self.governor = ServiceGovernor(
             threshold=qos_threshold,
             capacity_cores=resolve_jobs(jobs),
@@ -133,6 +164,7 @@ class HissService:
             trace=trace,
             ops_log=self.ops_log,
             warm=warm_pool,
+            flight=self.flight,
         )
         #: SLO engine (None = disabled, the default; disabled costs the
         #: request path nothing — no sampling thread, no extra routes'
@@ -172,6 +204,9 @@ class HissService:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "HissService":
+        if self.flight is not None:
+            # Before the scheduler: the recorder must see the first batch.
+            self.flight.start(self)
         self.scheduler.start()
         if self.slo_engine is not None:
             self.slo_engine.start(self)
@@ -194,6 +229,10 @@ class HissService:
             # After the drain so the final synchronous tick evaluates
             # everything this service actually served.
             self.slo_engine.stop(self)
+        if self.flight is not None:
+            # After the SLO engine: its final tick may still raise an
+            # alert edge whose capture must finish before we close.
+            self.flight.stop()
         self.httpd.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
@@ -362,6 +401,8 @@ class HissService:
         )
         if self.slo_engine is not None:
             gauges.update(self.slo_engine.gauges())
+        if self.flight is not None:
+            gauges.update(self.flight.gauges())
         return gauges
 
     def metrics_document(self) -> Dict[str, Any]:
@@ -461,6 +502,37 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(200, service.slo_engine.alerts_document())
+        elif path == "/v1/postmortems":
+            if service.flight is None:
+                self._send_json(
+                    404,
+                    {"error": "postmortem-disabled",
+                     "detail": "start the daemon with --postmortem-dir "
+                     "to enable the flight recorder"},
+                )
+            else:
+                self._send_json(
+                    200,
+                    {"postmortems": service.flight.store.index(),
+                     "status": service.flight.document()},
+                )
+        elif path.startswith("/v1/postmortems/"):
+            pm_id = path[len("/v1/postmortems/"):]
+            if service.flight is None:
+                self._send_json(
+                    404,
+                    {"error": "postmortem-disabled",
+                     "detail": "start the daemon with --postmortem-dir "
+                     "to enable the flight recorder"},
+                )
+            else:
+                doc = service.flight.store.load(pm_id)
+                if doc is None:
+                    self._send_json(
+                        404, {"error": "unknown-postmortem", "detail": pm_id}
+                    )
+                else:
+                    self._send_json(200, doc, indent=2)
         elif path == "/v1/experiments":
             self._send_json(200, service.experiments_document())
         elif path == "/v1/ops":
@@ -537,6 +609,9 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.service
         service.metrics.counter("service.http.requests").inc()
         path = urlparse(self.path).path.rstrip("/")
+        if path == "/v1/postmortems/trigger":
+            self._post_postmortem_trigger()
+            return
         if path != "/v1/jobs":
             self._send_json(404, {"error": "not-found", "detail": path})
             return
@@ -549,6 +624,45 @@ class _Handler(BaseHTTPRequestHandler):
             doc, trace_id=self.headers.get(TRACE_HEADER)
         )
         self._send_json(status, body, headers=headers)
+
+    def _post_postmortem_trigger(self) -> None:
+        service = self.service
+        if service.flight is None:
+            self._send_json(
+                404,
+                {"error": "postmortem-disabled",
+                 "detail": "start the daemon with --postmortem-dir "
+                 "to enable the flight recorder"},
+            )
+            return
+        try:
+            body = self._read_json_body() or {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": "bad-json", "detail": str(exc)})
+            return
+        reason = str(body.get("reason") or "operator request")
+        jobs = body.get("jobs") or []
+        if not isinstance(jobs, list):
+            self._send_json(
+                400, {"error": "bad-spec", "detail": "'jobs' must be a list"}
+            )
+            return
+        doc = service.flight.trigger_manual(
+            reason=reason, jobs=[str(job) for job in jobs]
+        )
+        if doc is None:
+            self._send_json(
+                429,
+                {"error": "rate-limited",
+                 "detail": "manual trigger debounced or over its hourly cap"},
+            )
+            return
+        self._send_json(
+            201,
+            {"postmortem": {"id": doc["id"],
+                            "captured_s": doc["captured_s"],
+                            "trigger": doc["trigger"]}},
+        )
 
     def do_DELETE(self) -> None:  # noqa: N802
         service = self.service

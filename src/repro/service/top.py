@@ -121,10 +121,14 @@ def render_ops(doc: Dict[str, Any], width: int = 80) -> str:
             f"  spawned {int(pool.get('spawned_workers', 0))}"
             f"  recycled {int(pool.get('recycled_workers', 0))}"
             f"  crashed {int(pool.get('crashed_workers', 0))}"
+            f"  failed {int(pool.get('runs_failed', 0))}"
             f"  warm-hit {_fmt_rate(pool.get('warm_hit_ratio'))}"
         )
     else:
-        lines.append("pool      cold (no resident workers)")
+        lines.append(
+            "pool      cold (no resident workers)"
+            f"  failed {int(pool.get('runs_failed', 0))}"
+        )
     lines.append(
         f"trace     {'on' if trace.get('enabled') else 'off'}"
         f"  dropped events {trace.get('dropped_events', 0)}"
@@ -147,6 +151,21 @@ def render_ops(doc: Dict[str, Any], width: int = 80) -> str:
                 f"burn {event.get('burn_fast', 0.0):.1f}x/"
                 f"{event.get('burn_slow', 0.0):.1f}x  {event.get('detail', '')}"
             )
+    postmortems = doc.get("postmortems")
+    if postmortems and postmortems.get("enabled"):
+        last = postmortems.get("last") or {}
+        last_text = (
+            f"last {last.get('id', '?')} ({last.get('trigger', '?')})"
+            if last
+            else "none captured"
+        )
+        lines.append(
+            f"flight    {postmortems.get('stored', 0)} bundle(s)"
+            f"  captured {postmortems.get('captured', 0)}"
+            f"  suppressed {postmortems.get('suppressed', 0)}"
+            f"  ring {(postmortems.get('ring') or {}).get('entries', 0)}"
+            f"  {last_text}"
+        )
     lines.append("")
     lines.append("latency")
     lines.extend(_latency_rows(latency))
@@ -217,9 +236,12 @@ def _run_curses(client: ServiceClient, interval_s: float) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from ..version import add_version_flag
+
     parser = argparse.ArgumentParser(
         prog="hiss-top", description="Live console for a hiss-serve daemon."
     )
+    add_version_flag(parser)
     parser.add_argument("--url", default=DEFAULT_URL, help=f"server URL (default {DEFAULT_URL})")
     parser.add_argument(
         "--interval", type=float, default=1.0, metavar="SECONDS",

@@ -21,6 +21,7 @@ import sys
 from collections import defaultdict
 from typing import Any, Dict, List, Optional
 
+from ..version import add_version_flag
 from .export import validate_chrome_trace
 
 
@@ -144,6 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="hiss-trace",
         description="Inspect Chrome-trace JSON produced by the HISS simulator.",
     )
+    add_version_flag(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     validate = subparsers.add_parser("validate", help="schema-check a trace file")

@@ -1,0 +1,51 @@
+"""Shared ``--version`` plumbing for the ``hiss-*`` console scripts.
+
+Every entry point reports the same two facts: the package version and
+the runcache *code fingerprint* — the digest that keys every cached run
+(:func:`repro.core.runcache.code_fingerprint`).  The fingerprint is the
+one that matters operationally: two hosts printing the same version but
+different fingerprints are running different simulators and will not
+share a cache.
+
+The fingerprint hashes the package sources, so it is computed lazily —
+only when ``--version`` is actually given — and never taxes a normal
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["add_version_flag", "version_line"]
+
+
+def version_line(prog: str) -> str:
+    """``<prog> <version> (code fingerprint <digest12>)``."""
+    import repro
+    from .core.runcache import code_fingerprint
+
+    return f"{prog} {repro.__version__} (code fingerprint {code_fingerprint()[:12]})"
+
+
+class _VersionAction(argparse.Action):
+    def __init__(
+        self,
+        option_strings,
+        dest=argparse.SUPPRESS,
+        default=argparse.SUPPRESS,
+        help="print package version + runcache code fingerprint and exit",
+    ):
+        super().__init__(
+            option_strings=option_strings, dest=dest, default=default,
+            nargs=0, help=help,
+        )
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(version_line(parser.prog))
+        parser.exit()
+
+
+def add_version_flag(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install ``--version`` on ``parser``; returns it for chaining."""
+    parser.add_argument("--version", action=_VersionAction)
+    return parser
